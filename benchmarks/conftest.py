@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Each figure benchmark both *times* the reproduction (via pytest-benchmark)
+and *persists* the regenerated table under ``benchmarks/output/`` so the
+numbers quoted in EXPERIMENTS.md can be refreshed with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> str:
+    """Directory where regenerated figure tables are written."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_table(output_dir):
+    """Persist a FigureTable (text + CSV) and echo it to stdout."""
+
+    def _save(table) -> None:
+        text = table.to_text()
+        print()
+        print(text)
+        base = os.path.join(output_dir, table.figure_id)
+        with open(base + ".txt", "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        with open(base + ".csv", "w", encoding="utf-8") as handle:
+            handle.write(table.to_csv() + "\n")
+
+    return _save

@@ -1,0 +1,95 @@
+"""Adaptive filter benchmark: static tree vs history-driven restructuring.
+
+Ablation of the adaptive component (DESIGN.md `adaptive` experiment): a
+peaked event stream is filtered by (a) the natural-order tree, (b) a tree
+reordered once from the true distribution, and (c) the adaptive engine that
+has to discover the distribution from its history.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Attribute, Event, IntegerDomain, ProfileSet, Schema, profile
+from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure
+from repro.service import AdaptationPolicy, AdaptiveFilterEngine
+from repro.distributions.discrete import peaked_discrete
+from repro.matching import TreeMatcher
+
+
+def _profiles() -> ProfileSet:
+    schema = Schema([Attribute("v", IntegerDomain(0, 199))])
+    return ProfileSet(schema, [profile(f"P{v}", v=v) for v in range(0, 200, 4)])
+
+
+def _events(count: int = 4000, seed: int = 3) -> list[Event]:
+    rng = random.Random(seed)
+    dist = peaked_discrete(
+        IntegerDomain(0, 199), peak_fraction=0.05, peak_mass=0.9, location="high"
+    )
+    return [Event({"v": dist.sample(rng)}) for _ in range(count)]
+
+
+EVENTS = _events()
+
+
+def test_static_natural_tree(benchmark):
+    matcher = TreeMatcher(_profiles())
+    total = benchmark.pedantic(
+        lambda: sum(matcher.match(e).operations for e in EVENTS), rounds=2, iterations=1
+    )
+    print(f"\nnatural tree: {total / len(EVENTS):.2f} ops/event")
+
+
+def test_statically_reordered_tree(benchmark):
+    profiles = _profiles()
+    optimizer = TreeOptimizer(
+        profiles,
+        {"v": peaked_discrete(IntegerDomain(0, 199), peak_fraction=0.05, peak_mass=0.9,
+                              location="high")},
+    )
+    matcher = TreeMatcher(
+        profiles, optimizer.configuration(value_measure=ValueMeasure.V1_EVENT)
+    )
+    total = benchmark.pedantic(
+        lambda: sum(matcher.match(e).operations for e in EVENTS), rounds=2, iterations=1
+    )
+    print(f"\noracle-reordered tree: {total / len(EVENTS):.2f} ops/event")
+
+
+def test_adaptive_engine(benchmark):
+    def run():
+        engine = AdaptiveFilterEngine(
+            _profiles(),
+            policy=AdaptationPolicy(
+                value_measure=ValueMeasure.V1_EVENT,
+                attribute_measure=AttributeMeasure.A2_ZERO_PROBABILITY,
+                reoptimize_interval=500,
+                warmup_events=500,
+            ),
+        )
+        return sum(engine.match(e).operations for e in EVENTS), engine
+
+    (total, engine) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nadaptive engine: {total / len(EVENTS):.2f} ops/event")
+    assert any(record.applied for record in engine.adaptations())
+
+
+def test_adaptation_closes_most_of_the_gap():
+    profiles = _profiles()
+    natural = TreeMatcher(profiles)
+    natural_ops = sum(natural.match(e).operations for e in EVENTS)
+
+    adaptive = AdaptiveFilterEngine(
+        _profiles(),
+        policy=AdaptationPolicy(
+            value_measure=ValueMeasure.V1_EVENT,
+            reoptimize_interval=500,
+            warmup_events=500,
+        ),
+    )
+    adaptive_ops = sum(adaptive.match(e).operations for e in EVENTS)
+    print()
+    print(f"natural tree : {natural_ops / len(EVENTS):8.2f} ops/event")
+    print(f"adaptive tree: {adaptive_ops / len(EVENTS):8.2f} ops/event")
+    assert adaptive_ops < natural_ops

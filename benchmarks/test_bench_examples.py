@@ -1,0 +1,83 @@
+"""Benchmarks for the paper's worked Examples 2-4 (paper-vs-measured).
+
+Each benchmark times the analytical reproduction and prints the paper's
+hand-computed value next to the library's result; EXPERIMENTS.md quotes
+these numbers.
+"""
+
+import pytest
+
+from repro.analysis.paper_examples import (
+    PAPER_EXAMPLE2,
+    PAPER_EXAMPLE3,
+    PAPER_EXAMPLE4,
+    example2_results,
+    example3_results,
+    example4_results,
+)
+
+
+def test_example2_value_reordering(benchmark):
+    result = benchmark(example2_results)
+    print()
+    print("Example 2 (temperature attribute, Eq. 2)   paper   measured")
+    print(f"  E(X) event order (V1)                     0.87   {result.event_order.expectation:.4f}")
+    print(f"  R    event order (V1)                     1.21   {result.event_order.total:.4f}")
+    print(f"  E(X) binary search                        1.65   {result.binary.expectation:.4f}")
+    print(f"  R    binary search                        1.99   {result.binary.total:.4f}")
+    print(f"  E(X) natural order                        2.44   {result.natural.expectation:.4f}")
+    assert result.event_order.expectation == pytest.approx(
+        PAPER_EXAMPLE2["event_order_expectation"], abs=1e-6
+    )
+    assert result.binary.total == pytest.approx(PAPER_EXAMPLE2["binary_response"], abs=1e-6)
+
+
+def test_example3_attribute_reordering(benchmark):
+    result = benchmark(example3_results)
+    print()
+    print("Example 3 (attribute reordering)            paper   measured")
+    print(
+        "  s_att A1 (temperature, humidity, radiation)  "
+        f"{PAPER_EXAMPLE3['selectivity_a1']['temperature']:.3f}/"
+        f"{PAPER_EXAMPLE3['selectivity_a1']['humidity']:.3f}/"
+        f"{PAPER_EXAMPLE3['selectivity_a1']['radiation']:.3f}   "
+        f"{result.selectivity_a1['temperature']:.3f}/"
+        f"{result.selectivity_a1['humidity']:.3f}/"
+        f"{result.selectivity_a1['radiation']:.3f}"
+    )
+    print(
+        f"  expected ops, natural order                 3.371   "
+        f"{result.natural_cost.operations_per_event:.3f}"
+    )
+    print(
+        f"  expected ops, A1 reordered                  1.910   "
+        f"{result.reordered_cost.operations_per_event:.3f}"
+    )
+    assert result.reordered_order[0] == "humidity"
+    assert (
+        result.reordered_cost.operations_per_event
+        < result.natural_cost.operations_per_event
+    )
+
+
+def test_example4_combined_reordering(benchmark):
+    result = benchmark(example4_results)
+    print()
+    print("Example 4 (V1 + A2 combined)                paper   measured")
+    print(
+        f"  expected ops, V1 + A2                       1.080   "
+        f"{result.combined_cost.operations_per_event:.3f}"
+    )
+    print(
+        f"  expected ops, binary + A2                   1.616   "
+        f"{result.binary_cost.operations_per_event:.3f}"
+    )
+    print(
+        f"  expected ops, natural tree                  3.371   "
+        f"{result.natural_cost.operations_per_event:.3f}"
+    )
+    assert (
+        result.combined_cost.operations_per_event
+        < result.binary_cost.operations_per_event
+        < result.natural_cost.operations_per_event
+    )

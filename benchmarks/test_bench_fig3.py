@@ -1,0 +1,23 @@
+"""Figure 3 benchmark: the exemplary distribution library."""
+
+from repro.experiments.figures.fig3 import FIG3_DISTRIBUTIONS, figure_3
+from repro.core.domains import IntegerDomain
+from repro.distributions.library import make_distribution
+
+
+def test_fig3_distribution_table(benchmark, save_table):
+    """Regenerate the Fig. 3 distribution sketch as a decile table."""
+    table = benchmark(figure_3)
+    save_table(table)
+    assert len(table.rows) == len(FIG3_DISTRIBUTIONS)
+
+
+def test_fig3_distribution_construction_speed(benchmark):
+    """Time building every named distribution over a 100-value domain."""
+    domain = IntegerDomain(0, 99)
+
+    def build_all():
+        return [make_distribution(name, domain) for name in FIG3_DISTRIBUTIONS]
+
+    built = benchmark(build_all)
+    assert len(built) == len(FIG3_DISTRIBUTIONS)

@@ -1,0 +1,29 @@
+"""Figure 6 benchmarks: attribute reordering (experiments TA1 and TA2)."""
+
+from repro.experiments.figures.fig6 import figure_6a, figure_6b
+
+
+def _check_ordering_findings(table):
+    for distribution in ("equal", "gauss", "relocated gauss low"):
+        descending = table.value(f"{distribution} · desc.", "event desc order search")
+        ascending = table.value(f"{distribution} · asc.", "event desc order search")
+        natural = table.value(f"{distribution} · natur.", "event desc order search")
+        # Descending selectivity order is the best of the three level orders.
+        assert descending <= ascending + 1e-9
+        assert descending <= natural + 1e-9
+
+
+def test_fig6a_wide_selectivity_differences(benchmark, save_table):
+    table = benchmark.pedantic(figure_6a, rounds=3, iterations=1)
+    save_table(table)
+    _check_ordering_findings(table)
+    # With most events on the zero-subdomains (relocated Gauss) the
+    # selectivity-ordered linear search beats binary search.
+    row = "relocated gauss low · desc."
+    assert table.value(row, "event desc order search") <= table.value(row, "binary search")
+
+
+def test_fig6b_small_selectivity_differences(benchmark, save_table):
+    table = benchmark.pedantic(figure_6b, rounds=3, iterations=1)
+    save_table(table)
+    _check_ordering_findings(table)

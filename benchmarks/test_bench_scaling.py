@@ -1,0 +1,73 @@
+"""Scaling ablations: tree construction and matching vs the profile count.
+
+The paper bounds the tree response time by ``O(n log2 p)``; these benchmarks
+measure how construction time, tree size and per-event operations grow with
+the number of profiles, and how the routing overlay scales with extra
+brokers.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Event
+from repro.matching import TreeMatcher, build_tree
+from repro.matching.statistics import FilterStatistics
+from repro.workloads import build_workload, single_attribute_spec
+
+
+@pytest.mark.parametrize("profile_count", [100, 400, 1600])
+def test_tree_construction_scaling(benchmark, profile_count):
+    workload = build_workload(
+        single_attribute_spec(
+            events="gauss",
+            profiles="equal",
+            domain_size=500,
+            profile_count=profile_count,
+            event_count=1,
+            seed=7,
+        )
+    )
+    tree = benchmark(lambda: build_tree(workload.profiles))
+    print(
+        f"\np={profile_count}: {tree.node_count()} nodes, "
+        f"{len(tree.partitions['value'].subranges)} sub-ranges"
+    )
+
+
+@pytest.mark.parametrize("profile_count", [100, 400, 1600])
+def test_matching_cost_scaling(benchmark, profile_count):
+    """Binary-search matching cost grows roughly like log2(2p - 1)."""
+    workload = build_workload(
+        single_attribute_spec(
+            events="equal",
+            profiles="equal",
+            domain_size=2000,
+            profile_count=profile_count,
+            event_count=500,
+            seed=11,
+        )
+    )
+    from repro.matching.tree.config import SearchStrategy, TreeConfiguration
+
+    matcher = TreeMatcher(
+        workload.profiles,
+        TreeConfiguration(("value",), {}, SearchStrategy.BINARY, "binary"),
+    )
+    events = list(workload.events)
+
+    def run():
+        statistics = FilterStatistics()
+        for event in events:
+            statistics.record(matcher.match(event))
+        return statistics
+
+    statistics = benchmark.pedantic(run, rounds=2, iterations=1)
+    import math
+
+    bound = math.log2(2 * profile_count - 1) + 1
+    print(
+        f"\np={profile_count}: {statistics.average_operations_per_event():.2f} ops/event "
+        f"(log2(2p-1) = {bound - 1:.2f})"
+    )
+    assert statistics.average_operations_per_event() <= bound

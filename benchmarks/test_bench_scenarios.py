@@ -1,0 +1,54 @@
+"""Benchmarks for the test scenarios TV1-TV4 (simulation vs analytic model).
+
+TV1/TV2 time the full multi-attribute run with the 95 %-precision stopping
+rule; TV3 times the 4 000-event single-attribute simulation; TV4 times the
+analytical evaluation and the two are compared in the printed summary.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import run_tv1, run_tv2, run_tv3, run_tv4
+
+
+def _print_result(result):
+    print()
+    print(f"scenario {result.scenario}:")
+    for name, value in result.operations_per_event().items():
+        print(f"  {name:26s} {value:8.2f} ops/event")
+
+
+def test_tv1_tree_creation_and_precision_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tv1(profile_count=800, max_events=4000), rounds=1, iterations=1
+    )
+    _print_result(result)
+    for evaluation in result.evaluations:
+        assert evaluation.statistics is not None
+        assert evaluation.statistics.events >= 30
+        assert evaluation.tree_nodes > 0
+
+
+def test_tv2_full_tree_precision_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tv2(profile_count=300, max_events=4000), rounds=1, iterations=1
+    )
+    _print_result(result)
+    assert result.by_strategy("binary search").operations_per_event > 0
+
+
+def test_tv3_single_attribute_simulation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tv3(profile_count=60, event_count=4000), rounds=1, iterations=1
+    )
+    _print_result(result)
+
+
+def test_tv4_analytic_model_agrees_with_tv3(benchmark):
+    analytic = benchmark(lambda: run_tv4(profile_count=60))
+    simulated = run_tv3(profile_count=60, event_count=4000)
+    _print_result(analytic)
+    print("  (TV3 simulation for comparison)")
+    for name, value in simulated.operations_per_event().items():
+        print(f"  {name:26s} {value:8.2f} ops/event")
+    for name, value in analytic.operations_per_event().items():
+        assert simulated.operations_per_event()[name] == pytest.approx(value, rel=0.15)

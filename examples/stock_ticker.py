@@ -1,0 +1,65 @@
+"""Stock ticker scenario: tree filter vs the baseline algorithms.
+
+The paper's first motivating application is a stock ticker where "users are
+mainly interested in a small range of values for certain shares".  This
+example generates such a workload and compares the three matcher families of
+the library — naive sequential scan, predicate counting, and the profile
+tree with and without distribution-based reordering — on identical event
+streams, reporting comparison operations and wall-clock throughput.
+
+Run with:  python examples/stock_ticker.py
+"""
+
+import time
+
+from repro.matching import CountingMatcher, FilterStatistics, NaiveMatcher, TreeMatcher
+from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure
+from repro.workloads import build_workload, stock_ticker_spec
+
+
+def run(name: str, matcher, events) -> None:
+    statistics = FilterStatistics()
+    started = time.perf_counter()
+    for event in events:
+        statistics.record(matcher.match(event))
+    elapsed = time.perf_counter() - started
+    print(
+        f"  {name:28s} ops/event = {statistics.average_operations_per_event():8.2f}   "
+        f"events/s = {len(events) / elapsed:8.0f}   "
+        f"notifications = {statistics.total_notifications}"
+    )
+
+
+def main() -> None:
+    workload = build_workload(stock_ticker_spec(profile_count=500, event_count=3000))
+    events = list(workload.events)
+    print(
+        f"stock ticker workload: {len(workload.profiles)} subscriptions, "
+        f"{len(events)} ticks"
+    )
+    print()
+    print("matcher comparison (identical event stream):")
+
+    run("naive sequential scan", NaiveMatcher(workload.profiles), events)
+    run("predicate counting", CountingMatcher(workload.profiles), events)
+    run("profile tree (natural)", TreeMatcher(workload.profiles), events)
+
+    optimizer = TreeOptimizer(workload.profiles, dict(workload.event_distributions))
+    configuration = optimizer.configuration(
+        value_measure=ValueMeasure.V1_EVENT,
+        attribute_measure=AttributeMeasure.A2_ZERO_PROBABILITY,
+        label="V1 + A2",
+    )
+    run("profile tree (V1 + A2)", TreeMatcher(workload.profiles, configuration), events)
+
+    print()
+    print(
+        "The tree-based filters touch far fewer predicates per event than the\n"
+        "baselines, and the distribution-based reordering reduces the probe\n"
+        "count further because both ticks and subscriptions concentrate on a\n"
+        "narrow price band."
+    )
+
+
+if __name__ == "__main__":
+    main()

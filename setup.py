@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The build environment used for this reproduction has no network access and
+no ``wheel`` package, so the PEP 517 editable-install path is unavailable;
+keeping a ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` route.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Efficient Distribution-Based Event Filtering".
+
+A content-based event notification service (ENS) with a profile-tree filter
+whose value and attribute orders adapt to the observed event and profile
+distributions, after Hinze & Bittner (ICDCSW 2002).
+
+Sub-packages
+------------
+``repro.core``
+    Events, profiles, predicates, attribute domains and sub-range partitions.
+``repro.distributions``
+    Event/profile distributions, projection onto sub-ranges, estimation.
+``repro.matching``
+    Naive, counting and tree-based matchers with operation accounting.
+``repro.selectivity``
+    Value measures V1-V3, attribute measures A1-A3, the tree optimizer.
+``repro.analysis``
+    The analytical cost model (Eq. 2) and the paper's worked examples.
+``repro.service``
+    The event notification service: broker, subscriptions, adaptive
+    re-optimisation, quenching and a multi-broker routing overlay.
+``repro.simulation``
+    Discrete-event simulation used by the distributed examples.
+``repro.workloads``
+    Workload specs, generators and the paper's application scenarios.
+``repro.experiments``
+    The evaluation harness regenerating every figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,100 @@
+"""Events.
+
+An event is "the occurrence of a state transition at a certain point in
+time", described as a collection of ``(attribute, value)`` pairs (Section 3
+of the paper).  Events are immutable value objects; the optional timestamp
+and source fields support the service and simulation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.errors import EventError
+from repro.core.schema import Schema
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable primitive event.
+
+    Parameters
+    ----------
+    values:
+        Mapping of attribute name to value, e.g.
+        ``{"temperature": 30, "humidity": 90, "radiation": 2}`` (the event of
+        Eq. (1) in the paper).
+    timestamp:
+        Logical or simulated occurrence time; ``0.0`` when not relevant.
+    source:
+        Identifier of the producing publisher or sensor, if any.
+    """
+
+    values: Mapping[str, object]
+    timestamp: float = 0.0
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+        if not self.values:
+            raise EventError("an event needs at least one (attribute, value) pair")
+
+    # -- mapping-style access ------------------------------------------------
+    def __getitem__(self, attribute: str) -> object:
+        try:
+            return self.values[attribute]
+        except KeyError as exc:
+            raise EventError(
+                f"event does not carry attribute {attribute!r}; it has {sorted(self.values)}"
+            ) from exc
+
+    def get(self, attribute: str, default: object = None) -> object:
+        """Return the value of ``attribute`` or ``default`` when absent."""
+        return self.values.get(attribute, default)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def attributes(self) -> list[str]:
+        """Return the attribute names carried by the event."""
+        return list(self.values)
+
+    # -- validation ------------------------------------------------------------
+    def validate(self, schema: Schema, *, require_all: bool = True) -> None:
+        """Validate the event against ``schema``.
+
+        Raises :class:`EventError` when the event uses unknown attributes,
+        carries values outside their domains, or (with ``require_all``) omits
+        a schema attribute.  The tree matcher requires complete events — every
+        level of the profile tree probes one attribute — so ``require_all``
+        defaults to ``True``.
+        """
+        for name, value in self.values.items():
+            if name not in schema:
+                raise EventError(f"event attribute {name!r} is not part of the schema")
+            if value not in schema.domain(name):
+                raise EventError(
+                    f"event value {value!r} is outside the domain of attribute {name!r}"
+                )
+        if require_all:
+            missing = [name for name in schema.names if name not in self.values]
+            if missing:
+                raise EventError(f"event is missing schema attributes {missing}")
+
+    def restricted_to(self, names: list[str]) -> "Event":
+        """Return a copy carrying only the attributes in ``names``."""
+        kept = {n: v for n, v in self.values.items() if n in names}
+        return Event(kept, timestamp=self.timestamp, source=self.source)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        pairs = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        return f"event({pairs})"

@@ -1,0 +1,125 @@
+"""Attribute schemas.
+
+The paper assumes a *firm set* ``A`` of attributes ``a_j`` (``j in [1, n]``)
+with values in domains ``D_j``.  A :class:`Schema` captures this set with a
+defined natural order of the attributes (the order used by the "natural"
+attribute ordering baseline of the evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.domains import Domain
+from repro.core.errors import SchemaError
+
+__all__ = ["Attribute", "Schema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with its value domain and optional unit.
+
+    Example 1 of the paper defines ``a1: temperature`` with domain
+    ``[-30, 50]`` in degrees Celsius.
+    """
+
+    name: str
+    domain: Domain
+    unit: str | None = None
+    description: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        unit = f" [{self.unit}]" if self.unit else ""
+        return f"{self.name}{unit}"
+
+
+class Schema:
+    """An ordered collection of attributes shared by events and profiles."""
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes: tuple[Attribute, ...] = attrs
+        self._by_name: dict[str, Attribute] = {a.name: a for a in attrs}
+        self._positions: dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        return self.attribute(key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def attributes(self) -> Sequence[Attribute]:
+        """Return the attributes in their natural (schema) order."""
+        return self._attributes
+
+    @property
+    def names(self) -> list[str]:
+        """Return attribute names in natural order."""
+        return [a.name for a in self._attributes]
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``.
+
+        Raises :class:`SchemaError` for unknown names so mistakes surface at
+        the call site rather than as a ``KeyError`` deep inside the matcher.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown attribute {name!r}; schema has {self.names}") from exc
+
+    def domain(self, name: str) -> Domain:
+        """Return the domain of attribute ``name``."""
+        return self.attribute(name).domain
+
+    def position(self, name: str) -> int:
+        """Return the 0-based natural position of attribute ``name``."""
+        self.attribute(name)
+        return self._positions[name]
+
+    def validate_assignment(self, values: Mapping[str, object]) -> None:
+        """Check that ``values`` only uses known attributes with legal values."""
+        for name, value in values.items():
+            attribute = self.attribute(name)
+            attribute.domain.validate_value(value)
+
+    def reordered(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema with attributes permuted into ``names`` order."""
+        if sorted(names) != sorted(self.names):
+            raise SchemaError(
+                f"reordering must be a permutation of {self.names}, got {list(names)}"
+            )
+        return Schema(self.attribute(name) for name in names)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Schema({', '.join(self.names)})"

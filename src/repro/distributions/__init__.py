@@ -1,0 +1,80 @@
+"""Probability distributions for events and profiles.
+
+Implements the distribution machinery of Section 3: per-attribute event and
+profile distributions (``P_e`` / ``P_p``), their projection onto the defined
+sub-ranges of an attribute (the discrete random variable ``X`` with domain
+``W ∪ {x_0}``), joint distributions across attributes, the named
+distribution families used by the evaluation (equal, Gauss, relocated
+Gauss, peaked, falling, "defined N"), and history-based estimation for the
+adaptive filter component.
+"""
+
+from repro.distributions.base import (
+    Distribution,
+    SubrangeDistribution,
+    project_onto_partition,
+)
+from repro.distributions.continuous import (
+    PiecewiseConstantDistribution,
+    falling_continuous,
+    gaussian_continuous,
+    peaked_continuous,
+    relocated_gaussian_continuous,
+    rising_continuous,
+    uniform_continuous,
+)
+from repro.distributions.discrete import (
+    DiscreteDistribution,
+    falling_discrete,
+    gaussian_discrete,
+    peaked_discrete,
+    relocated_gaussian_discrete,
+    rising_discrete,
+    uniform_discrete,
+)
+from repro.distributions.estimation import (
+    EventHistory,
+    FrequencyCounter,
+    estimate_event_distribution,
+    estimate_profile_distribution,
+)
+from repro.distributions.joint import (
+    ConditionalJointDistribution,
+    IndependentJointDistribution,
+    JointDistribution,
+)
+from repro.distributions.library import (
+    available_named_distributions,
+    defined_distribution,
+    make_distribution,
+)
+
+__all__ = [
+    "ConditionalJointDistribution",
+    "DiscreteDistribution",
+    "Distribution",
+    "EventHistory",
+    "FrequencyCounter",
+    "IndependentJointDistribution",
+    "JointDistribution",
+    "PiecewiseConstantDistribution",
+    "SubrangeDistribution",
+    "available_named_distributions",
+    "defined_distribution",
+    "estimate_event_distribution",
+    "estimate_profile_distribution",
+    "falling_continuous",
+    "falling_discrete",
+    "gaussian_continuous",
+    "gaussian_discrete",
+    "make_distribution",
+    "peaked_continuous",
+    "peaked_discrete",
+    "project_onto_partition",
+    "relocated_gaussian_continuous",
+    "relocated_gaussian_discrete",
+    "rising_continuous",
+    "rising_discrete",
+    "uniform_continuous",
+    "uniform_discrete",
+]

@@ -1,0 +1,221 @@
+"""Continuous probability distributions.
+
+The paper's model allows the per-attribute event distribution to be given as
+a continuous density function which is then integrated over each defined
+sub-range (Section 3).  This module provides the continuous families used in
+the evaluation — uniform, (truncated) Gauss, relocated Gauss, linear ramps
+and peaked mixtures — implemented as piecewise-constant or analytically
+integrable densities over a :class:`~repro.core.domains.ContinuousDomain`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Sequence
+
+from repro.core.domains import ContinuousDomain, Domain
+from repro.core.errors import DistributionError
+from repro.core.intervals import Interval
+from repro.distributions.base import Distribution
+
+__all__ = [
+    "PiecewiseConstantDistribution",
+    "uniform_continuous",
+    "gaussian_continuous",
+    "relocated_gaussian_continuous",
+    "falling_continuous",
+    "rising_continuous",
+    "peaked_continuous",
+]
+
+
+class PiecewiseConstantDistribution(Distribution):
+    """A histogram density over a continuous domain.
+
+    The domain is divided into ``len(weights)`` equal-width bins; bin ``i``
+    carries relative mass ``weights[i]`` spread uniformly over the bin.  All
+    continuous families below reduce to this representation, which makes
+    integration over arbitrary sub-ranges exact and cheap.
+    """
+
+    def __init__(self, domain: Domain, weights: Sequence[float]) -> None:
+        if not isinstance(domain, ContinuousDomain):
+            raise DistributionError(
+                "PiecewiseConstantDistribution requires a ContinuousDomain"
+            )
+        weights = [float(w) for w in weights]
+        if not weights:
+            raise DistributionError("at least one bin weight is required")
+        if any(w < 0 for w in weights):
+            raise DistributionError("bin weights must be non-negative")
+        total = sum(weights)
+        if total <= 0:
+            raise DistributionError("total probability mass must be positive")
+        self.domain = domain
+        self._masses = [w / total for w in weights]
+        self._bin_count = len(weights)
+        self._bin_width = domain.size / self._bin_count
+        cumulative: list[float] = []
+        running = 0.0
+        for mass in self._masses:
+            running += mass
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    # -- helpers ---------------------------------------------------------------
+    def bin_edges(self) -> list[float]:
+        """Return the ``bin_count + 1`` bin boundary positions."""
+        low = self.domain.full_interval().low
+        return [low + i * self._bin_width for i in range(self._bin_count + 1)]
+
+    def bin_masses(self) -> list[float]:
+        """Return the normalised probability mass of each bin."""
+        return list(self._masses)
+
+    def density_at(self, value: float) -> float:
+        """Return the probability density at ``value`` (0 outside the domain)."""
+        full = self.domain.full_interval()
+        if not full.contains(value):
+            return 0.0
+        index = min(int((value - full.low) / self._bin_width), self._bin_count - 1)
+        return self._masses[index] / self._bin_width
+
+    # -- Distribution interface -------------------------------------------------
+    def probability_of_value(self, value: object) -> float:
+        # A continuous distribution assigns zero mass to individual points.
+        return 0.0
+
+    def probability_of_interval(self, interval: Interval) -> float:
+        full = self.domain.full_interval()
+        clipped = full.intersect(interval)
+        if clipped is None:
+            return 0.0
+        low = full.low
+        total = 0.0
+        for index, mass in enumerate(self._masses):
+            bin_low = low + index * self._bin_width
+            bin_high = bin_low + self._bin_width
+            overlap_low = max(bin_low, clipped.low)
+            overlap_high = min(bin_high, clipped.high)
+            if overlap_high > overlap_low:
+                total += mass * (overlap_high - overlap_low) / self._bin_width
+        return total
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        index = bisect.bisect_left(self._cumulative, u)
+        index = min(index, self._bin_count - 1)
+        previous = self._cumulative[index - 1] if index > 0 else 0.0
+        mass = self._masses[index]
+        within = 0.5 if mass <= 0 else (u - previous) / mass
+        low = self.domain.full_interval().low
+        return low + (index + within) * self._bin_width
+
+    def mean(self) -> float:
+        low = self.domain.full_interval().low
+        return sum(
+            mass * (low + (index + 0.5) * self._bin_width)
+            for index, mass in enumerate(self._masses)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"PiecewiseConstantDistribution(bins={self._bin_count}, "
+            f"domain={self.domain!r})"
+        )
+
+
+_DEFAULT_BINS = 200
+
+
+def uniform_continuous(domain: Domain, *, bins: int = _DEFAULT_BINS) -> PiecewiseConstantDistribution:
+    """Return the uniform ("equally distributed") density over ``domain``."""
+    return PiecewiseConstantDistribution(domain, [1.0] * bins)
+
+
+def gaussian_continuous(
+    domain: Domain,
+    *,
+    mean_fraction: float = 0.5,
+    stddev_fraction: float = 0.15,
+    bins: int = _DEFAULT_BINS,
+) -> PiecewiseConstantDistribution:
+    """Return a truncated Gauss density positioned by domain fractions."""
+    if stddev_fraction <= 0:
+        raise DistributionError("stddev_fraction must be positive")
+    full = domain.full_interval()
+    mean = full.low + mean_fraction * (full.high - full.low)
+    stddev = stddev_fraction * (full.high - full.low)
+    width = (full.high - full.low) / bins
+    weights = []
+    for i in range(bins):
+        centre = full.low + (i + 0.5) * width
+        weights.append(math.exp(-0.5 * ((centre - mean) / stddev) ** 2))
+    return PiecewiseConstantDistribution(domain, weights)
+
+
+def relocated_gaussian_continuous(
+    domain: Domain,
+    *,
+    location: str = "low",
+    stddev_fraction: float = 0.15,
+    bins: int = _DEFAULT_BINS,
+) -> PiecewiseConstantDistribution:
+    """Return the paper's relocated Gauss (bell shifted to one domain end)."""
+    if location not in {"low", "high"}:
+        raise DistributionError("location must be 'low' or 'high'")
+    mean_fraction = 0.08 if location == "low" else 0.92
+    return gaussian_continuous(
+        domain, mean_fraction=mean_fraction, stddev_fraction=stddev_fraction, bins=bins
+    )
+
+
+def falling_continuous(domain: Domain, *, bins: int = _DEFAULT_BINS) -> PiecewiseConstantDistribution:
+    """Return a linearly decreasing density over the domain."""
+    return PiecewiseConstantDistribution(domain, [float(bins - i) for i in range(bins)])
+
+
+def rising_continuous(domain: Domain, *, bins: int = _DEFAULT_BINS) -> PiecewiseConstantDistribution:
+    """Return a linearly increasing density over the domain."""
+    return PiecewiseConstantDistribution(domain, [float(i + 1) for i in range(bins)])
+
+
+def peaked_continuous(
+    domain: Domain,
+    *,
+    peak_fraction: float,
+    peak_mass: float,
+    location: str = "high",
+    bins: int = _DEFAULT_BINS,
+) -> PiecewiseConstantDistribution:
+    """Return a density with ``peak_mass`` concentrated on a narrow range.
+
+    Mirrors :func:`repro.distributions.discrete.peaked_discrete` for
+    continuous domains (catastrophe-warning style distributions).
+    """
+    if not 0 < peak_fraction <= 1:
+        raise DistributionError("peak_fraction must be in (0, 1]")
+    if not 0 <= peak_mass <= 1:
+        raise DistributionError("peak_mass must be in [0, 1]")
+    if location not in {"low", "high", "center"}:
+        raise DistributionError("location must be one of 'low', 'high', 'center'")
+    peak_bins = max(1, math.ceil(peak_fraction * bins))
+    if location == "low":
+        peak_indices = set(range(peak_bins))
+    elif location == "high":
+        peak_indices = set(range(bins - peak_bins, bins))
+    else:
+        start = max(0, (bins - peak_bins) // 2)
+        peak_indices = set(range(start, start + peak_bins))
+    rest_bins = bins - len(peak_indices)
+    weights = []
+    for i in range(bins):
+        if i in peak_indices:
+            weights.append(peak_mass / len(peak_indices))
+        elif rest_bins:
+            weights.append((1.0 - peak_mass) / rest_bins)
+        else:
+            weights.append(0.0)
+    return PiecewiseConstantDistribution(domain, weights)

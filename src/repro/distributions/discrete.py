@@ -1,0 +1,229 @@
+"""Discrete probability distributions.
+
+The evaluation prototype of the paper supports equality tests over
+enumerable attribute domains and simulates event/profile distributions with
+per-value counters (Section 4.2 "Statistics").  The classes here provide the
+corresponding per-value probability distributions, including the uniform
+("equally distributed") baseline, peaked distributions ("a small range of
+values is requested by many users"), falling/rising ramps and discretised
+Gaussians, all of which appear in the test scenarios of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
+from repro.core.errors import DistributionError
+from repro.core.intervals import Interval
+from repro.distributions.base import Distribution
+
+__all__ = [
+    "DiscreteDistribution",
+    "uniform_discrete",
+    "peaked_discrete",
+    "falling_discrete",
+    "rising_discrete",
+    "gaussian_discrete",
+    "relocated_gaussian_discrete",
+]
+
+
+class DiscreteDistribution(Distribution):
+    """A probability mass function over a finite attribute domain."""
+
+    def __init__(self, domain: Domain, weights: Mapping[object, float]) -> None:
+        if not isinstance(domain, (DiscreteDomain, IntegerDomain)):
+            raise DistributionError(
+                "DiscreteDistribution requires a DiscreteDomain or IntegerDomain"
+            )
+        if not weights:
+            raise DistributionError("at least one value must carry probability mass")
+        total = float(sum(weights.values()))
+        if total <= 0:
+            raise DistributionError("total probability mass must be positive")
+        cleaned: dict[object, float] = {}
+        for value, weight in weights.items():
+            if weight < 0:
+                raise DistributionError(f"negative weight {weight} for value {value!r}")
+            if value not in domain:
+                raise DistributionError(f"value {value!r} is outside the domain")
+            if weight > 0:
+                cleaned[value] = float(weight) / total
+        self.domain = domain
+        self._pmf = cleaned
+        # Pre-compute the sampling tables in the domain's natural order so
+        # sampling is deterministic given a seeded random.Random.
+        self._values = self._ordered_values()
+        cumulative: list[float] = []
+        running = 0.0
+        for value in self._values:
+            running += self._pmf.get(value, 0.0)
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    # -- helpers ---------------------------------------------------------------
+    def _ordered_values(self) -> list:
+        if isinstance(self.domain, DiscreteDomain):
+            return [v for v in self.domain.values() if v in self._pmf]
+        return sorted(self._pmf)
+
+    def support(self) -> list:
+        """Return the values carrying positive probability, in natural order."""
+        return list(self._values)
+
+    def pmf(self) -> Mapping[object, float]:
+        """Return the full probability mass function as a mapping."""
+        return dict(self._pmf)
+
+    # -- Distribution interface -------------------------------------------------
+    def probability_of_value(self, value: object) -> float:
+        return self._pmf.get(value, 0.0)
+
+    def probability_of_interval(self, interval: Interval) -> float:
+        if isinstance(self.domain, DiscreteDomain):
+            total = 0.0
+            for index, value in enumerate(self.domain.values()):
+                if interval.contains(index):
+                    total += self._pmf.get(value, 0.0)
+            return total
+        total = 0.0
+        for value, probability in self._pmf.items():
+            if interval.contains(float(value)):  # type: ignore[arg-type]
+                total += probability
+        return total
+
+    def sample(self, rng: random.Random) -> object:
+        u = rng.random()
+        index = bisect.bisect_left(self._cumulative, u)
+        index = min(index, len(self._values) - 1)
+        return self._values[index]
+
+    def mean(self) -> float:
+        if isinstance(self.domain, DiscreteDomain):
+            raise DistributionError("mean is undefined for unordered discrete domains")
+        return sum(float(v) * p for v, p in self._pmf.items())
+
+    def reweighted(self, overrides: Mapping[object, float]) -> "DiscreteDistribution":
+        """Return a copy with some weights replaced (then renormalised).
+
+        This mirrors the paper's statistics objects whose counters are
+        "manipulated in order to simulate a distribution".
+        """
+        weights = dict(self._pmf)
+        weights.update(overrides)
+        return DiscreteDistribution(self.domain, weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"DiscreteDistribution(support={len(self._values)} values)"
+
+
+def _domain_values(domain: Domain) -> Sequence:
+    if isinstance(domain, DiscreteDomain):
+        return list(domain.values())
+    if isinstance(domain, IntegerDomain):
+        return list(domain.values())
+    raise DistributionError("a finite domain is required")
+
+
+def uniform_discrete(domain: Domain) -> DiscreteDistribution:
+    """Return the "equally distributed" baseline over a finite domain."""
+    values = _domain_values(domain)
+    weight = 1.0 / len(values)
+    return DiscreteDistribution(domain, {v: weight for v in values})
+
+
+def peaked_discrete(
+    domain: Domain,
+    *,
+    peak_fraction: float,
+    peak_mass: float,
+    location: str = "high",
+) -> DiscreteDistribution:
+    """Return a distribution with a peak over a small range of the domain.
+
+    ``peak_fraction`` of the values (rounded up, at least one) carry
+    ``peak_mass`` of the probability, the rest is spread uniformly.  The peak
+    sits at the low end, the high end or the centre of the natural order
+    (``location`` in ``{"low", "high", "center"}``).  This models the
+    "95 % high" / "95 % low" profile distributions of Fig. 5 and the
+    catastrophe-warning scenario where "users are mainly interested in a
+    small range of values".
+    """
+    if not 0 < peak_fraction <= 1:
+        raise DistributionError("peak_fraction must be in (0, 1]")
+    if not 0 <= peak_mass <= 1:
+        raise DistributionError("peak_mass must be in [0, 1]")
+    if location not in {"low", "high", "center"}:
+        raise DistributionError("location must be one of 'low', 'high', 'center'")
+    values = _domain_values(domain)
+    count = len(values)
+    peak_count = max(1, math.ceil(peak_fraction * count))
+    if location == "low":
+        peak_values = values[:peak_count]
+    elif location == "high":
+        peak_values = values[count - peak_count :]
+    else:
+        start = max(0, (count - peak_count) // 2)
+        peak_values = values[start : start + peak_count]
+    rest_values = [v for v in values if v not in set(peak_values)]
+    weights: dict[object, float] = {}
+    for v in peak_values:
+        weights[v] = peak_mass / len(peak_values)
+    if rest_values:
+        rest_mass = 1.0 - peak_mass
+        for v in rest_values:
+            weights[v] = rest_mass / len(rest_values)
+    return DiscreteDistribution(domain, weights)
+
+
+def falling_discrete(domain: Domain) -> DiscreteDistribution:
+    """Return a linearly decreasing distribution over the natural order."""
+    values = _domain_values(domain)
+    count = len(values)
+    weights = {v: float(count - i) for i, v in enumerate(values)}
+    return DiscreteDistribution(domain, weights)
+
+
+def rising_discrete(domain: Domain) -> DiscreteDistribution:
+    """Return a linearly increasing distribution over the natural order."""
+    values = _domain_values(domain)
+    weights = {v: float(i + 1) for i, v in enumerate(values)}
+    return DiscreteDistribution(domain, weights)
+
+
+def gaussian_discrete(
+    domain: Domain, *, mean_fraction: float = 0.5, stddev_fraction: float = 0.15
+) -> DiscreteDistribution:
+    """Return a discretised (truncated) Gauss distribution.
+
+    ``mean_fraction`` and ``stddev_fraction`` position the bell relative to
+    the natural order of the domain (0 = first value, 1 = last value).  The
+    paper uses the plain Gauss distribution and a *relocated* Gauss whose
+    centre is shifted towards the low or high values (Section 4.3).
+    """
+    if stddev_fraction <= 0:
+        raise DistributionError("stddev_fraction must be positive")
+    values = _domain_values(domain)
+    count = len(values)
+    mean = mean_fraction * (count - 1)
+    stddev = max(stddev_fraction * count, 1e-9)
+    weights = {
+        v: math.exp(-0.5 * ((i - mean) / stddev) ** 2) for i, v in enumerate(values)
+    }
+    return DiscreteDistribution(domain, weights)
+
+
+def relocated_gaussian_discrete(
+    domain: Domain, *, location: str = "low", stddev_fraction: float = 0.15
+) -> DiscreteDistribution:
+    """Return the paper's "relocated Gauss": the bell shifted to one end."""
+    if location not in {"low", "high"}:
+        raise DistributionError("location must be 'low' or 'high'")
+    mean_fraction = 0.08 if location == "low" else 0.92
+    return gaussian_discrete(
+        domain, mean_fraction=mean_fraction, stddev_fraction=stddev_fraction
+    )

@@ -1,0 +1,243 @@
+"""Distribution estimation from observed histories.
+
+Section 4 of the paper: "We assume a history of profile and event
+distributions to be known to the system; the future properties of events and
+profiles are inferred from the history" and, in the conclusion, the
+algorithm "has to maintain a history of events in order to determine the
+event distribution".
+
+This module provides:
+
+* :class:`FrequencyCounter` — the per-value counters of the prototype's
+  statistics objects (Section 4.2), convertible to a
+  :class:`~repro.distributions.discrete.DiscreteDistribution`;
+* :class:`EventHistory` — a bounded sliding window of observed events with
+  per-attribute counters, used by the adaptive filter component;
+* :func:`estimate_profile_distribution` — the empirical profile distribution
+  ``P_p`` over the sub-ranges of an attribute partition (the fraction of
+  profile references per sub-range), used by the value measures V2/V3 and
+  the attribute measures A1/A2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterable, Mapping
+
+from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
+from repro.core.errors import DistributionError
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet
+from repro.core.schema import Schema
+from repro.core.subranges import AttributePartition
+from repro.distributions.base import SubrangeDistribution
+from repro.distributions.discrete import DiscreteDistribution
+
+__all__ = [
+    "FrequencyCounter",
+    "EventHistory",
+    "estimate_profile_distribution",
+    "estimate_event_distribution",
+]
+
+
+class FrequencyCounter:
+    """Per-value frequency counter for one attribute.
+
+    Mirrors the prototype's statistic objects: every observed (or simulated)
+    value increments a counter; the counters can be read back as an
+    empirical probability distribution.  Counters can also be *set* directly,
+    which is how the paper "manipulates the counters in order to simulate a
+    distribution" without posting a multiple number of events.
+    """
+
+    def __init__(self, domain: Domain) -> None:
+        self._domain = domain
+        self._counts: Counter = Counter()
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Return the total number of recorded observations."""
+        return self._total
+
+    def record(self, value: object, weight: int = 1) -> None:
+        """Record one observation of ``value`` (optionally weighted)."""
+        if value not in self._domain:
+            raise DistributionError(f"value {value!r} is outside the attribute domain")
+        if weight <= 0:
+            raise DistributionError("observation weight must be positive")
+        self._counts[value] += weight
+        self._total += weight
+
+    def forget(self, value: object, weight: int = 1) -> None:
+        """Remove ``weight`` observations of ``value`` (sliding-window decay)."""
+        current = self._counts.get(value, 0)
+        removed = min(current, weight)
+        if removed:
+            self._counts[value] = current - removed
+            if self._counts[value] == 0:
+                del self._counts[value]
+            self._total -= removed
+
+    def set_count(self, value: object, count: int) -> None:
+        """Overwrite the counter of ``value`` (distribution simulation)."""
+        if value not in self._domain:
+            raise DistributionError(f"value {value!r} is outside the attribute domain")
+        if count < 0:
+            raise DistributionError("counts must be non-negative")
+        self._total -= self._counts.get(value, 0)
+        if count:
+            self._counts[value] = count
+            self._total += count
+        elif value in self._counts:
+            del self._counts[value]
+
+    def counts(self) -> Mapping[object, int]:
+        """Return a copy of the raw counters."""
+        return dict(self._counts)
+
+    def frequency(self, value: object) -> float:
+        """Return the relative frequency of ``value`` (0 when never seen)."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(value, 0) / self._total
+
+    def to_distribution(self, *, bins: int = 50):
+        """Return the empirical distribution implied by the counters.
+
+        Finite domains yield a :class:`DiscreteDistribution`; continuous
+        domains yield a histogram
+        :class:`~repro.distributions.continuous.PiecewiseConstantDistribution`
+        with ``bins`` equal-width bins.
+        """
+        if self._total == 0:
+            raise DistributionError("cannot build a distribution from an empty counter")
+        if isinstance(self._domain, (DiscreteDomain, IntegerDomain)):
+            return DiscreteDistribution(self._domain, dict(self._counts))
+        from repro.distributions.continuous import PiecewiseConstantDistribution
+
+        full = self._domain.full_interval()
+        width = (full.high - full.low) / bins
+        weights = [0.0] * bins
+        for value, count in self._counts.items():
+            index = min(int((float(value) - full.low) / width), bins - 1)
+            weights[index] += count
+        return PiecewiseConstantDistribution(self._domain, weights)
+
+
+class EventHistory:
+    """Bounded sliding window of observed events with per-attribute counters.
+
+    The adaptive filter component consults the history to estimate the
+    current event distribution ``P_e`` and decide whether the profile tree
+    should be restructured.
+    """
+
+    def __init__(self, schema: Schema, *, max_length: int = 10_000) -> None:
+        if max_length <= 0:
+            raise DistributionError("history length must be positive")
+        self._schema = schema
+        self._max_length = max_length
+        self._events: Deque[Event] = deque()
+        self._counters = {
+            attribute.name: FrequencyCounter(attribute.domain) for attribute in schema
+        }
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def max_length(self) -> int:
+        return self._max_length
+
+    def observe(self, event: Event) -> None:
+        """Add one event, evicting the oldest one beyond the window size."""
+        event.validate(self._schema, require_all=False)
+        self._events.append(event)
+        for name, value in event.values.items():
+            self._counters[name].record(value)
+        if len(self._events) > self._max_length:
+            expired = self._events.popleft()
+            for name, value in expired.values.items():
+                self._counters[name].forget(value)
+
+    def observe_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.observe(event)
+
+    def counter(self, attribute: str) -> FrequencyCounter:
+        """Return the frequency counter of one attribute."""
+        try:
+            return self._counters[attribute]
+        except KeyError as exc:
+            raise DistributionError(f"unknown attribute {attribute!r}") from exc
+
+    def events(self) -> list[Event]:
+        """Return the retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all retained events and counters."""
+        self._events.clear()
+        for attribute in self._schema:
+            self._counters[attribute.name] = FrequencyCounter(attribute.domain)
+
+
+def estimate_event_distribution(
+    history: EventHistory, partition: AttributePartition
+) -> SubrangeDistribution:
+    """Estimate ``P_e`` over the sub-ranges of ``partition`` from a history."""
+    counter = history.counter(partition.attribute.name)
+    if counter.total == 0:
+        raise DistributionError(
+            f"no observations for attribute {partition.attribute.name!r}"
+        )
+    masses = [0.0] * len(partition.subranges)
+    zero = 0.0
+    for value, count in counter.counts().items():
+        weight = count / counter.total
+        located = partition.locate(value)
+        if located is None:
+            zero += weight
+        else:
+            masses[located.index] += weight
+    return SubrangeDistribution(partition, tuple(masses), zero)
+
+
+def estimate_profile_distribution(
+    profiles: ProfileSet, partition: AttributePartition
+) -> SubrangeDistribution:
+    """Estimate the profile distribution ``P_p`` over a partition.
+
+    ``P_p(x_i)`` is the fraction of profile references falling on sub-range
+    ``x_i``: each profile that constrains the attribute contributes one unit
+    of mass spread uniformly over the sub-ranges its predicate accepts.  The
+    zero-subdomain has ``P_p(x_0) = 0`` by definition ("the probability of
+    these attribute values is zero").
+    """
+    counts = [0.0] * len(partition.subranges)
+    total = 0.0
+    for prof in profiles:
+        if not prof.constrains(partition.attribute.name):
+            continue
+        accepted = [s for s in partition.subranges if prof.profile_id in s.profile_ids]
+        if not accepted:
+            continue
+        share = 1.0 / len(accepted)
+        for subrange in accepted:
+            counts[subrange.index] += share
+        total += 1.0
+    if total == 0:
+        # No profile constrains the attribute: P_p is all don't-care.  Model
+        # this as a uniform reference distribution over zero sub-ranges.
+        return SubrangeDistribution(partition, tuple(), 1.0) if not partition.subranges else (
+            SubrangeDistribution(
+                partition,
+                tuple(0.0 for _ in partition.subranges),
+                1.0,
+            )
+        )
+    return SubrangeDistribution(
+        partition, tuple(c / total for c in counts), 0.0
+    )

@@ -1,0 +1,124 @@
+"""Joint distributions over all schema attributes.
+
+The paper notes that "the distributions for the values of each of the n
+attributes of an event are not independent, the notion of conditional
+distributions is required", but its experiments "assume independent
+attributes for ease of computation" and "use the overall distribution of
+events for each attribute, not conditional distributions" (Section 4.3).
+
+Both options are available here:
+
+* :class:`IndependentJointDistribution` — one marginal per attribute,
+  conditionals equal the marginals (what the paper's tests use);
+* :class:`ConditionalJointDistribution` — explicit conditional distributions
+  per attribute given the values of earlier attributes, for studying the A3
+  measure and correlated workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import DistributionError
+from repro.core.events import Event
+from repro.core.schema import Schema
+from repro.distributions.base import Distribution
+
+__all__ = ["JointDistribution", "IndependentJointDistribution", "ConditionalJointDistribution"]
+
+
+class JointDistribution:
+    """Joint distribution of event attribute values over a schema."""
+
+    schema: Schema
+
+    def marginal(self, attribute: str) -> Distribution:
+        """Return the marginal distribution of one attribute."""
+        raise NotImplementedError
+
+    def conditional(self, attribute: str, given: Mapping[str, object]) -> Distribution:
+        """Return the distribution of ``attribute`` given earlier values."""
+        raise NotImplementedError
+
+    def sample_event(self, rng: random.Random, *, timestamp: float = 0.0) -> Event:
+        """Draw a complete event, sampling attributes in schema order."""
+        values: dict[str, object] = {}
+        for attribute in self.schema.names:
+            distribution = self.conditional(attribute, values)
+            values[attribute] = distribution.sample(rng)
+        return Event(values, timestamp=timestamp)
+
+    def sample_events(
+        self, count: int, rng: random.Random, *, start_time: float = 0.0, interval: float = 1.0
+    ) -> list[Event]:
+        """Draw ``count`` events with evenly spaced timestamps."""
+        return [
+            self.sample_event(rng, timestamp=start_time + i * interval)
+            for i in range(count)
+        ]
+
+
+class IndependentJointDistribution(JointDistribution):
+    """Product distribution: every attribute is drawn independently."""
+
+    def __init__(self, schema: Schema, marginals: Mapping[str, Distribution]) -> None:
+        missing = [name for name in schema.names if name not in marginals]
+        if missing:
+            raise DistributionError(f"missing marginal distributions for {missing}")
+        unknown = [name for name in marginals if name not in schema]
+        if unknown:
+            raise DistributionError(f"marginals given for unknown attributes {unknown}")
+        self.schema = schema
+        self._marginals = dict(marginals)
+
+    def marginal(self, attribute: str) -> Distribution:
+        try:
+            return self._marginals[attribute]
+        except KeyError as exc:
+            raise DistributionError(f"no marginal for attribute {attribute!r}") from exc
+
+    def conditional(self, attribute: str, given: Mapping[str, object]) -> Distribution:
+        return self.marginal(attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"IndependentJointDistribution({', '.join(self.schema.names)})"
+
+
+class ConditionalJointDistribution(JointDistribution):
+    """Joint distribution with explicit conditional structure.
+
+    ``conditionals[name]`` is a callable receiving the already-sampled
+    values of the preceding attributes (in schema order) and returning the
+    conditional distribution of attribute ``name``.  Attributes without an
+    entry fall back to their marginal in ``marginals``.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        marginals: Mapping[str, Distribution],
+        conditionals: Mapping[str, Callable[[Mapping[str, object]], Distribution]] | None = None,
+    ) -> None:
+        self._base = IndependentJointDistribution(schema, marginals)
+        self.schema = schema
+        self._conditionals = dict(conditionals or {})
+        unknown = [name for name in self._conditionals if name not in schema]
+        if unknown:
+            raise DistributionError(f"conditionals given for unknown attributes {unknown}")
+
+    def marginal(self, attribute: str) -> Distribution:
+        return self._base.marginal(attribute)
+
+    def conditional(self, attribute: str, given: Mapping[str, object]) -> Distribution:
+        maker = self._conditionals.get(attribute)
+        if maker is None:
+            return self._base.marginal(attribute)
+        return maker(given)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        conditioned = sorted(self._conditionals)
+        return (
+            f"ConditionalJointDistribution({', '.join(self.schema.names)}, "
+            f"conditioned={conditioned})"
+        )

@@ -1,0 +1,62 @@
+"""Evaluation harness: scenarios TV1-TV4, TA1-TA2 and all figure tables."""
+
+from repro.experiments.harness import (
+    OrderingStrategy,
+    STRATEGY_BINARY,
+    STRATEGY_COMBINED,
+    STRATEGY_EVENT,
+    STRATEGY_NATURAL,
+    STRATEGY_PROFILE,
+    StrategyEvaluation,
+    configuration_for_strategy,
+    evaluate_analytically,
+    evaluate_by_simulation,
+)
+from repro.experiments.reporting import FigureRow, FigureTable
+from repro.experiments.scenarios import (
+    DEFAULT_STRATEGIES,
+    ScenarioResult,
+    run_tv1,
+    run_tv2,
+    run_tv3,
+    run_tv4,
+)
+from repro.experiments.figures import (
+    figure_3,
+    figure_4a,
+    figure_4b,
+    figure_5a,
+    figure_5b,
+    figure_5c,
+    figure_6a,
+    figure_6b,
+)
+
+__all__ = [
+    "DEFAULT_STRATEGIES",
+    "FigureRow",
+    "FigureTable",
+    "OrderingStrategy",
+    "STRATEGY_BINARY",
+    "STRATEGY_COMBINED",
+    "STRATEGY_EVENT",
+    "STRATEGY_NATURAL",
+    "STRATEGY_PROFILE",
+    "ScenarioResult",
+    "StrategyEvaluation",
+    "configuration_for_strategy",
+    "evaluate_analytically",
+    "evaluate_by_simulation",
+    "figure_3",
+    "figure_4a",
+    "figure_4b",
+    "figure_5a",
+    "figure_5b",
+    "figure_5c",
+    "figure_6a",
+    "figure_6b",
+    "run_tv1",
+    "run_tv2",
+    "run_tv3",
+    "run_tv4",
+]

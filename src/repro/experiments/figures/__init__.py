@@ -1,0 +1,59 @@
+"""Reproductions of every figure in the paper's evaluation section."""
+
+from repro.experiments.figures.common import (
+    DistributionCombination,
+    combination_workload,
+    value_reordering_table,
+)
+from repro.experiments.figures.fig3 import FIG3_DISTRIBUTIONS, distribution_profile, figure_3
+from repro.experiments.figures.fig4 import (
+    FIG4A_COMBINATIONS,
+    FIG4A_STRATEGIES,
+    FIG4B_COMBINATIONS,
+    FIG4B_STRATEGIES,
+    figure_4a,
+    figure_4b,
+)
+from repro.experiments.figures.fig5 import (
+    FIG5_COMBINATIONS,
+    FIG5_STRATEGIES,
+    figure_5a,
+    figure_5b,
+    figure_5c,
+)
+from repro.experiments.figures.fig6 import (
+    FIG6_EVENT_DISTRIBUTIONS,
+    FIG6_ORDERINGS,
+    TA1_COVERAGE_FRACTIONS,
+    TA2_COVERAGE_FRACTIONS,
+    attribute_reordering_profiles,
+    figure_6a,
+    figure_6b,
+)
+
+__all__ = [
+    "DistributionCombination",
+    "FIG3_DISTRIBUTIONS",
+    "FIG4A_COMBINATIONS",
+    "FIG4A_STRATEGIES",
+    "FIG4B_COMBINATIONS",
+    "FIG4B_STRATEGIES",
+    "FIG5_COMBINATIONS",
+    "FIG5_STRATEGIES",
+    "FIG6_EVENT_DISTRIBUTIONS",
+    "FIG6_ORDERINGS",
+    "TA1_COVERAGE_FRACTIONS",
+    "TA2_COVERAGE_FRACTIONS",
+    "attribute_reordering_profiles",
+    "combination_workload",
+    "distribution_profile",
+    "figure_3",
+    "figure_4a",
+    "figure_4b",
+    "figure_5a",
+    "figure_5b",
+    "figure_5c",
+    "figure_6a",
+    "figure_6b",
+    "value_reordering_table",
+]

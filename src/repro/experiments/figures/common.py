@@ -1,0 +1,124 @@
+"""Shared machinery for the figure reproductions.
+
+Every value-reordering figure of the paper (Figs. 4 and 5) uses the same
+experimental template: a single-attribute profile tree (test scenario TV4)
+whose profiles are drawn from a named profile distribution ``P_p`` and whose
+events follow a named event distribution ``P_e``; the plotted metric is the
+expected number of comparison operations per event (or per profile) for a
+set of ordering strategies.  The helpers here build those workloads and
+tables so the individual figure modules only declare their distribution
+combinations and strategy sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ExperimentError
+from repro.experiments.harness import (
+    OrderingStrategy,
+    StrategyEvaluation,
+    evaluate_analytically,
+    evaluate_by_simulation,
+)
+from repro.experiments.reporting import FigureRow, FigureTable
+from repro.workloads.generators import Workload, build_workload
+from repro.workloads.scenarios import single_attribute_spec
+
+__all__ = [
+    "DistributionCombination",
+    "combination_workload",
+    "value_reordering_table",
+]
+
+
+@dataclass(frozen=True)
+class DistributionCombination:
+    """One x-axis group: an event distribution paired with a profile one."""
+
+    events: str
+    profiles: str
+
+    @property
+    def label(self) -> str:
+        """Return the figure label, e.g. ``"d39 / gauss"``."""
+        return f"{self.events} / {self.profiles}"
+
+
+def combination_workload(
+    combination: DistributionCombination,
+    *,
+    domain_size: int = 100,
+    profile_count: int = 60,
+    seed: int = 5,
+) -> Workload:
+    """Build the single-attribute workload of one P_e/P_p combination."""
+    spec = single_attribute_spec(
+        events=combination.events,
+        profiles=combination.profiles,
+        domain_size=domain_size,
+        profile_count=profile_count,
+        seed=seed,
+        name=f"tv4-{combination.events}-{combination.profiles}".replace(" ", ""),
+    )
+    return build_workload(spec)
+
+
+def value_reordering_table(
+    figure_id: str,
+    title: str,
+    combinations: Sequence[DistributionCombination],
+    strategies: Sequence[OrderingStrategy],
+    *,
+    metric: str = "operations_per_event",
+    domain_size: int = 100,
+    profile_count: int = 60,
+    seed: int = 5,
+    simulate: bool = False,
+    event_count: int = 4000,
+) -> FigureTable:
+    """Reproduce one value-reordering figure as a :class:`FigureTable`.
+
+    ``metric`` selects the plotted quantity: ``operations_per_event``
+    (Figs. 4, 5(a)), ``operations_per_profile`` (Fig. 5(b)) or
+    ``operations_per_event_and_profile`` (Fig. 5(c)).  ``simulate=True``
+    switches from the analytical TV4 evaluation to the sampled TV3 one.
+    """
+    valid_metrics = {
+        "operations_per_event",
+        "operations_per_profile",
+        "operations_per_event_and_profile",
+    }
+    if metric not in valid_metrics:
+        raise ExperimentError(f"metric must be one of {sorted(valid_metrics)}")
+
+    rows = []
+    for combination in combinations:
+        workload = combination_workload(
+            combination,
+            domain_size=domain_size,
+            profile_count=profile_count,
+            seed=seed,
+        )
+        if simulate:
+            evaluations = evaluate_by_simulation(
+                workload,
+                strategies,
+                events=workload.events[:event_count],
+            )
+        else:
+            evaluations = evaluate_analytically(workload, strategies)
+        rows.append(
+            FigureRow(
+                label=combination.label,
+                values={e.strategy.name: getattr(e, metric) for e in evaluations},
+            )
+        )
+    return FigureTable(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        series=tuple(s.name for s in strategies),
+        rows=tuple(rows),
+    )

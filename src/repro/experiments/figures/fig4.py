@@ -1,0 +1,99 @@
+"""Figure 4: influence of value reordering (test scenario TV4).
+
+* Fig. 4(a) compares natural order, event-based order (Measure V1) and
+  binary search over seven combinations of event/profile distributions
+  (``d37/equal``, ``d5/d41``, ``d3/d39``, ``d39/d18``, ``d40/d17``,
+  ``d42/d1``, ``d39/d1``).
+* Fig. 4(b) compares the profile order (V2), the combined order (V3), the
+  event order (V1) and binary search over eight combinations
+  (``d14/gauss`` ... ``d17/d34``).
+
+The paper's qualitative findings that our reproduction checks:
+
+* natural and event-based orderings oscillate across combinations while
+  binary search is balanced — there is no universally best strategy;
+* the event-based order wins for peaked event distributions (the
+  catastrophe-warning scenario), formally when ``E(X) < log2(2p - 1)``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import (
+    DistributionCombination,
+    value_reordering_table,
+)
+from repro.experiments.harness import (
+    STRATEGY_BINARY,
+    STRATEGY_COMBINED,
+    STRATEGY_EVENT,
+    STRATEGY_NATURAL,
+    STRATEGY_PROFILE,
+)
+from repro.experiments.reporting import FigureTable
+
+__all__ = [
+    "FIG4A_COMBINATIONS",
+    "FIG4B_COMBINATIONS",
+    "FIG4A_STRATEGIES",
+    "FIG4B_STRATEGIES",
+    "figure_4a",
+    "figure_4b",
+]
+
+#: The P_e / P_p combinations on the x-axis of Fig. 4(a).
+FIG4A_COMBINATIONS = (
+    DistributionCombination("d37", "equal"),
+    DistributionCombination("d5", "d41"),
+    DistributionCombination("d3", "d39"),
+    DistributionCombination("d39", "d18"),
+    DistributionCombination("d40", "d17"),
+    DistributionCombination("d42", "d1"),
+    DistributionCombination("d39", "d1"),
+)
+
+#: The P_e / P_p combinations on the x-axis of Fig. 4(b).
+FIG4B_COMBINATIONS = (
+    DistributionCombination("d14", "gauss"),
+    DistributionCombination("d2", "gauss"),
+    DistributionCombination("d4", "gauss"),
+    DistributionCombination("d16", "d39"),
+    DistributionCombination("d9", "gauss"),
+    DistributionCombination("d39", "gauss"),
+    DistributionCombination("d4", "d37"),
+    DistributionCombination("d17", "d34"),
+)
+
+FIG4A_STRATEGIES = (STRATEGY_NATURAL, STRATEGY_EVENT, STRATEGY_BINARY)
+FIG4B_STRATEGIES = (STRATEGY_PROFILE, STRATEGY_COMBINED, STRATEGY_EVENT, STRATEGY_BINARY)
+
+
+def figure_4a(
+    *, profile_count: int = 60, domain_size: int = 100, seed: int = 5, simulate: bool = False
+) -> FigureTable:
+    """Reproduce Fig. 4(a): Measure V1 vs natural order vs binary search."""
+    return value_reordering_table(
+        "fig4a",
+        "Influence of value reordering (Measure V1), scenario TV4",
+        FIG4A_COMBINATIONS,
+        FIG4A_STRATEGIES,
+        profile_count=profile_count,
+        domain_size=domain_size,
+        seed=seed,
+        simulate=simulate,
+    )
+
+
+def figure_4b(
+    *, profile_count: int = 60, domain_size: int = 100, seed: int = 5, simulate: bool = False
+) -> FigureTable:
+    """Reproduce Fig. 4(b): Measures V1-V3 vs binary search."""
+    return value_reordering_table(
+        "fig4b",
+        "Influence of value reordering (Measures V1-V3), scenario TV4",
+        FIG4B_COMBINATIONS,
+        FIG4B_STRATEGIES,
+        profile_count=profile_count,
+        domain_size=domain_size,
+        seed=seed,
+        simulate=simulate,
+    )

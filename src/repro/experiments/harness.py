@@ -1,0 +1,215 @@
+"""Experiment harness.
+
+Common machinery shared by the figure reproductions and the TV/TA test
+scenarios: build a workload, derive the tree configuration for each ordering
+strategy, and evaluate it either *analytically* (the paper's scenario TV4,
+via the expected-cost model) or *by simulation* (scenarios TV1-TV3, via the
+runtime matcher and sampled events).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.cost_model import TreeCost, expected_tree_cost
+from repro.core.errors import ExperimentError
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet
+from repro.distributions.base import Distribution
+from repro.matching.statistics import FilterStatistics
+from repro.matching.tree.builder import ProfileTree, build_tree
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration
+from repro.matching.tree.matcher import TreeMatcher
+from repro.selectivity.attribute_measures import AttributeMeasure
+from repro.selectivity.optimizer import TreeOptimizer
+from repro.selectivity.value_measures import ValueMeasure
+from repro.workloads.generators import Workload, build_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "OrderingStrategy",
+    "StrategyEvaluation",
+    "STRATEGY_NATURAL",
+    "STRATEGY_EVENT",
+    "STRATEGY_PROFILE",
+    "STRATEGY_COMBINED",
+    "STRATEGY_BINARY",
+    "evaluate_analytically",
+    "evaluate_by_simulation",
+    "configuration_for_strategy",
+]
+
+
+@dataclass(frozen=True)
+class OrderingStrategy:
+    """One ordering strategy as plotted in the paper's figures."""
+
+    #: Display name used in figure legends (matches the paper's wording).
+    name: str
+    value_measure: ValueMeasure = ValueMeasure.NATURAL
+    attribute_measure: AttributeMeasure = AttributeMeasure.NATURAL
+    search: SearchStrategy = SearchStrategy.LINEAR
+    #: Descending selectivity order (the paper's reordering) or ascending
+    #: (its worst-case comparison in Fig. 6).
+    attribute_descending: bool = True
+
+
+#: The strategies appearing across Figs. 4-6.
+STRATEGY_NATURAL = OrderingStrategy("natural order search")
+STRATEGY_EVENT = OrderingStrategy("event order search", value_measure=ValueMeasure.V1_EVENT)
+STRATEGY_PROFILE = OrderingStrategy("profile order search", value_measure=ValueMeasure.V2_PROFILE)
+STRATEGY_COMBINED = OrderingStrategy(
+    "event * profile order search", value_measure=ValueMeasure.V3_COMBINED
+)
+STRATEGY_BINARY = OrderingStrategy("binary search", search=SearchStrategy.BINARY)
+
+
+@dataclass(frozen=True)
+class StrategyEvaluation:
+    """Metrics of one strategy on one workload."""
+
+    strategy: OrderingStrategy
+    operations_per_event: float
+    operations_per_profile: float
+    operations_per_event_and_profile: float
+    match_probability: float
+    #: Analytic evaluations carry the full cost breakdown; simulations None.
+    cost: TreeCost | None = None
+    #: Simulated evaluations carry the filter statistics; analytic None.
+    statistics: FilterStatistics | None = None
+    #: Wall-clock seconds spent building the tree (simulation only).
+    build_seconds: float = 0.0
+    tree_nodes: int = 0
+
+
+def configuration_for_strategy(
+    strategy: OrderingStrategy,
+    optimizer: TreeOptimizer,
+) -> TreeConfiguration:
+    """Derive the tree configuration of one strategy via the optimizer."""
+    return optimizer.configuration(
+        value_measure=strategy.value_measure,
+        attribute_measure=strategy.attribute_measure,
+        search=strategy.search,
+        attribute_descending=strategy.attribute_descending,
+        label=strategy.name,
+    )
+
+
+def _build_optimizer(workload: Workload) -> TreeOptimizer:
+    return TreeOptimizer(workload.profiles, dict(workload.event_distributions))
+
+
+def evaluate_analytically(
+    workload: Workload,
+    strategies: Sequence[OrderingStrategy],
+    *,
+    attribute_order_override: Sequence[str] | None = None,
+) -> list[StrategyEvaluation]:
+    """Evaluate strategies with the expected-cost model (scenario TV4)."""
+    if not strategies:
+        raise ExperimentError("at least one strategy is required")
+    optimizer = _build_optimizer(workload)
+    evaluations = []
+    for strategy in strategies:
+        configuration = configuration_for_strategy(strategy, optimizer)
+        if attribute_order_override is not None:
+            configuration = configuration.with_attribute_order(
+                attribute_order_override, label=configuration.label
+            )
+        tree = build_tree(
+            workload.profiles, configuration, partitions=dict(optimizer.partitions)
+        )
+        cost = expected_tree_cost(tree, dict(workload.event_distributions))
+        per_profile = cost.operations_per_profile if cost.per_profile else float("nan")
+        per_pair = (
+            cost.operations_per_event_and_profile
+            if cost.expected_notifications > 0
+            else float("nan")
+        )
+        evaluations.append(
+            StrategyEvaluation(
+                strategy=strategy,
+                operations_per_event=cost.operations_per_event,
+                operations_per_profile=per_profile,
+                operations_per_event_and_profile=per_pair,
+                match_probability=cost.match_probability,
+                cost=cost,
+                tree_nodes=tree.node_count(),
+            )
+        )
+    return evaluations
+
+
+def evaluate_by_simulation(
+    workload: Workload,
+    strategies: Sequence[OrderingStrategy],
+    *,
+    events: Sequence[Event] | None = None,
+    precision_target: float | None = None,
+    max_events: int | None = None,
+    attribute_order_override: Sequence[str] | None = None,
+) -> list[StrategyEvaluation]:
+    """Evaluate strategies by filtering sampled events (scenarios TV1-TV3).
+
+    ``precision_target`` activates the paper's 95 %-precision stopping rule:
+    events are drawn from the workload's joint distribution until the mean
+    operation count is estimated to the requested relative precision (or
+    ``max_events`` is reached).
+    """
+    if not strategies:
+        raise ExperimentError("at least one strategy is required")
+    optimizer = _build_optimizer(workload)
+    evaluations = []
+    for strategy in strategies:
+        configuration = configuration_for_strategy(strategy, optimizer)
+        if attribute_order_override is not None:
+            configuration = configuration.with_attribute_order(
+                attribute_order_override, label=configuration.label
+            )
+        started = time.perf_counter()
+        matcher = TreeMatcher(workload.profiles, configuration)
+        build_seconds = time.perf_counter() - started
+
+        statistics = FilterStatistics()
+        if precision_target is None:
+            event_stream: Sequence[Event] = (
+                events if events is not None else workload.events
+            )
+            for event in event_stream:
+                statistics.record(matcher.match(event))
+        else:
+            rng = random.Random(workload.spec.seed + 99)
+            joint = workload.joint_event_distribution()
+            limit = max_events if max_events is not None else 100_000
+            while statistics.events < limit:
+                statistics.record(matcher.match(joint.sample_event(rng)))
+                if statistics.precision_reached(precision_target):
+                    break
+
+        per_profile = (
+            statistics.average_operations_over_profiles()
+            if statistics.total_notifications
+            else float("nan")
+        )
+        per_pair = (
+            statistics.average_operations_per_event_and_profile()
+            if statistics.total_notifications
+            else float("nan")
+        )
+        evaluations.append(
+            StrategyEvaluation(
+                strategy=strategy,
+                operations_per_event=statistics.average_operations_per_event(),
+                operations_per_profile=per_profile,
+                operations_per_event_and_profile=per_pair,
+                match_probability=statistics.match_rate(),
+                statistics=statistics,
+                build_seconds=build_seconds,
+                tree_nodes=matcher.tree.node_count(),
+            )
+        )
+    return evaluations

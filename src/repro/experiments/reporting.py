@@ -1,0 +1,93 @@
+"""Reporting helpers: figure tables as aligned text and CSV.
+
+The paper presents its evaluation as bar charts; this reproduction prints
+the same series as tables (one row per distribution combination, one column
+per ordering strategy), which the benchmark harness writes to stdout and
+``EXPERIMENTS.md`` quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.errors import ExperimentError
+
+__all__ = ["FigureRow", "FigureTable"]
+
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One x-axis group of a figure (e.g. one P_e/P_p combination)."""
+
+    label: str
+    values: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class FigureTable:
+    """A reproduced figure: named series over labelled groups."""
+
+    figure_id: str
+    title: str
+    metric: str
+    series: tuple[str, ...]
+    rows: tuple[FigureRow, ...]
+
+    def value(self, row_label: str, series: str) -> float:
+        """Return one cell of the table."""
+        for row in self.rows:
+            if row.label == row_label:
+                try:
+                    return row.values[series]
+                except KeyError as exc:
+                    raise ExperimentError(
+                        f"series {series!r} missing in row {row_label!r}"
+                    ) from exc
+        raise ExperimentError(f"unknown row {row_label!r}")
+
+    def winners(self) -> dict[str, str]:
+        """Return, per row, the series with the lowest value (best strategy)."""
+        result = {}
+        for row in self.rows:
+            result[row.label] = min(row.values, key=lambda s: row.values[s])
+        return result
+
+    # -- rendering ---------------------------------------------------------------
+    def to_text(self, *, precision: int = 2) -> str:
+        """Render the table as aligned monospaced text."""
+        label_width = max([len("combination")] + [len(r.label) for r in self.rows])
+        column_widths = [
+            max(len(name), precision + 6) for name in self.series
+        ]
+        lines = [f"{self.figure_id}: {self.title}", f"metric: {self.metric}", ""]
+        header = "combination".ljust(label_width) + " | " + " | ".join(
+            name.rjust(width) for name, width in zip(self.series, column_widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            cells = []
+            for name, width in zip(self.series, column_widths):
+                value = row.values.get(name, float("nan"))
+                cells.append(f"{value:.{precision}f}".rjust(width))
+            lines.append(row.label.ljust(label_width) + " | " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def to_csv(self, *, precision: int = 4) -> str:
+        """Render the table as CSV text."""
+        lines = ["combination," + ",".join(self.series)]
+        for row in self.rows:
+            cells = [f"{row.values.get(name, float('nan')):.{precision}f}" for name in self.series]
+            lines.append(row.label + "," + ",".join(cells))
+        return "\n".join(lines)
+
+    def to_markdown(self, *, precision: int = 2) -> str:
+        """Render the table as a GitHub-flavoured markdown table."""
+        header = "| combination | " + " | ".join(self.series) + " |"
+        divider = "|" + "---|" * (len(self.series) + 1)
+        lines = [header, divider]
+        for row in self.rows:
+            cells = [f"{row.values.get(name, float('nan')):.{precision}f}" for name in self.series]
+            lines.append("| " + row.label + " | " + " | ".join(cells) + " |")
+        return "\n".join(lines)

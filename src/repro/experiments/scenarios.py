@@ -1,0 +1,169 @@
+"""The paper's test scenarios TV1-TV4 and TA1-TA2 as runnable experiments.
+
+Section 4.3 defines four value-reordering test scenarios:
+
+* **TV1** — creation of the full profile tree (``n`` attributes, 10 000
+  profiles drawn from a given distribution), then event tests until the
+  average operation count is known with 95 % precision;
+* **TV2** — full profile tree, event tests until 95 % precision;
+* **TV3** — single-attribute profile tree, 4 000 events drawn from the given
+  distribution;
+* **TV4** — single-attribute profile tree, all possible events, average
+  operation count computed analytically from Eq. 2;
+
+and two attribute-reordering experiments **TA1** (widely differing attribute
+selectivities) and **TA2** (small differences), reproduced in
+:mod:`repro.experiments.figures.fig6`.
+
+The scenario runners here return both the analytic and simulated metrics so
+the integration tests can check that simulation (TV3) converges to the
+analytical model (TV4) and that the 95 %-precision stopping rule behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import ExperimentError
+from repro.experiments.harness import (
+    OrderingStrategy,
+    STRATEGY_BINARY,
+    STRATEGY_EVENT,
+    STRATEGY_NATURAL,
+    StrategyEvaluation,
+    evaluate_analytically,
+    evaluate_by_simulation,
+)
+from repro.workloads.generators import Workload, build_workload
+from repro.workloads.scenarios import environmental_monitoring_spec, single_attribute_spec
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "ScenarioResult",
+    "DEFAULT_STRATEGIES",
+    "run_tv1",
+    "run_tv2",
+    "run_tv3",
+    "run_tv4",
+]
+
+#: Strategies evaluated by default in the TV scenarios.
+DEFAULT_STRATEGIES = (STRATEGY_NATURAL, STRATEGY_EVENT, STRATEGY_BINARY)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one test scenario."""
+
+    scenario: str
+    workload: Workload
+    evaluations: tuple[StrategyEvaluation, ...]
+
+    def by_strategy(self, name: str) -> StrategyEvaluation:
+        """Return the evaluation of the strategy called ``name``."""
+        for evaluation in self.evaluations:
+            if evaluation.strategy.name == name:
+                return evaluation
+        raise ExperimentError(f"no evaluation for strategy {name!r}")
+
+    def operations_per_event(self) -> Mapping[str, float]:
+        """Return ``{strategy name: avg operations per event}``."""
+        return {e.strategy.name: e.operations_per_event for e in self.evaluations}
+
+
+def run_tv1(
+    *,
+    profile_count: int = 2000,
+    events: str = "gauss",
+    profiles: str = "95% high",
+    precision_target: float = 0.05,
+    max_events: int = 20_000,
+    strategies: Sequence[OrderingStrategy] = DEFAULT_STRATEGIES,
+    seed: int = 31,
+) -> ScenarioResult:
+    """Run scenario TV1: multi-attribute tree creation plus precision run.
+
+    The paper uses 10 000 profiles; the default here is smaller so the
+    scenario stays laptop-friendly, and the count is a parameter.
+    """
+    spec = environmental_monitoring_spec(
+        profile_count=profile_count, event_count=1, seed=seed
+    ).with_distributions(events=events, profiles=profiles)
+    workload = build_workload(spec)
+    evaluations = evaluate_by_simulation(
+        workload,
+        strategies,
+        precision_target=precision_target,
+        max_events=max_events,
+    )
+    return ScenarioResult("TV1", workload, tuple(evaluations))
+
+
+def run_tv2(
+    *,
+    profile_count: int = 500,
+    events: str = "gauss",
+    profiles: str = "95% high",
+    precision_target: float = 0.05,
+    max_events: int = 20_000,
+    strategies: Sequence[OrderingStrategy] = DEFAULT_STRATEGIES,
+    seed: int = 37,
+) -> ScenarioResult:
+    """Run scenario TV2: full profile tree, events until 95 % precision."""
+    spec = environmental_monitoring_spec(
+        profile_count=profile_count, event_count=1, seed=seed
+    ).with_distributions(events=events, profiles=profiles)
+    workload = build_workload(spec)
+    evaluations = evaluate_by_simulation(
+        workload,
+        strategies,
+        precision_target=precision_target,
+        max_events=max_events,
+    )
+    return ScenarioResult("TV2", workload, tuple(evaluations))
+
+
+def run_tv3(
+    *,
+    events: str = "gauss",
+    profiles: str = "95% high",
+    profile_count: int = 60,
+    event_count: int = 4000,
+    strategies: Sequence[OrderingStrategy] = DEFAULT_STRATEGIES,
+    seed: int = 41,
+) -> ScenarioResult:
+    """Run scenario TV3: single attribute, 4 000 sampled events."""
+    spec = single_attribute_spec(
+        events=events,
+        profiles=profiles,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+        name="tv3",
+    )
+    workload = build_workload(spec)
+    evaluations = evaluate_by_simulation(workload, strategies)
+    return ScenarioResult("TV3", workload, tuple(evaluations))
+
+
+def run_tv4(
+    *,
+    events: str = "gauss",
+    profiles: str = "95% high",
+    profile_count: int = 60,
+    strategies: Sequence[OrderingStrategy] = DEFAULT_STRATEGIES,
+    seed: int = 41,
+) -> ScenarioResult:
+    """Run scenario TV4: single attribute, analytical evaluation (Eq. 2)."""
+    spec = single_attribute_spec(
+        events=events,
+        profiles=profiles,
+        profile_count=profile_count,
+        event_count=1,
+        seed=seed,
+        name="tv4",
+    )
+    workload = build_workload(spec)
+    evaluations = evaluate_analytically(workload, strategies)
+    return ScenarioResult("TV4", workload, tuple(evaluations))

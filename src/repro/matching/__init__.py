@@ -1,0 +1,42 @@
+"""Event-filtering algorithms.
+
+Three matcher families, all implementing the same
+:class:`~repro.matching.interfaces.Matcher` interface and the same
+comparison-operation accounting:
+
+* :class:`~repro.matching.naive.NaiveMatcher` — evaluate every profile
+  (simple-algorithm baseline);
+* :class:`~repro.matching.counting.CountingMatcher` — predicate counting
+  with shared predicate evaluation (clustering-style baseline);
+* :class:`~repro.matching.tree.TreeMatcher` — the profile-tree filter the
+  paper improves with distribution-based reordering.
+"""
+
+from repro.matching.counting import CountingMatcher
+from repro.matching.interfaces import Matcher, MatchResult, match_all
+from repro.matching.naive import NaiveMatcher
+from repro.matching.statistics import FilterStatistics, RunningMean
+from repro.matching.tree import (
+    ProfileTree,
+    SearchStrategy,
+    TreeConfiguration,
+    TreeMatcher,
+    ValueOrder,
+    build_tree,
+)
+
+__all__ = [
+    "CountingMatcher",
+    "FilterStatistics",
+    "MatchResult",
+    "Matcher",
+    "NaiveMatcher",
+    "ProfileTree",
+    "RunningMean",
+    "SearchStrategy",
+    "TreeConfiguration",
+    "TreeMatcher",
+    "ValueOrder",
+    "build_tree",
+    "match_all",
+]

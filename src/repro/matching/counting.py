@@ -1,0 +1,123 @@
+"""Counting-based matcher (baseline).
+
+The second algorithm family of the related work ("clustering"/counting
+approaches such as Le Subscribe and the predicate-counting algorithm of
+Aguilera et al. / Fabret et al.): all *distinct* predicates are evaluated
+once per event through a per-attribute index, and a counter per profile
+records how many of its predicates are satisfied; profiles whose counter
+reaches their predicate count match the event.
+
+This gives sub-linear behaviour when many profiles share predicates, and is
+the natural middle ground between the naive scan and the profile tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.domains import DiscreteDomain, IntegerDomain
+from repro.core.errors import MatchingError
+from repro.core.events import Event
+from repro.core.predicates import Equals, OneOf, Predicate
+from repro.core.profiles import Profile, ProfileSet
+from repro.matching.interfaces import MatchResult
+
+__all__ = ["CountingMatcher"]
+
+
+@dataclass(frozen=True)
+class _PredicateKey:
+    """Canonical identity of a predicate occurrence on one attribute."""
+
+    attribute: str
+    predicate: Predicate
+
+
+class CountingMatcher:
+    """Predicate-counting matcher with an equality fast path.
+
+    Distinct ``(attribute, predicate)`` pairs are stored once.  Equality
+    predicates are indexed in a hash table per attribute so that, per event
+    and attribute, only the predicates on the observed value are touched
+    (cost 1 per satisfied equality predicate plus one lookup); all other
+    predicate kinds are evaluated individually (cost 1 each).
+    """
+
+    def __init__(self, profiles: ProfileSet) -> None:
+        self.profiles = profiles
+        self._rebuild()
+
+    # -- index maintenance -----------------------------------------------------
+    def _rebuild(self) -> None:
+        # predicate key -> profiles subscribing to it
+        self._subscribers: dict[_PredicateKey, list[str]] = defaultdict(list)
+        # attribute -> value -> equality predicate keys on that value
+        self._equality_index: dict[str, dict[object, list[_PredicateKey]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        # attribute -> non-equality predicate keys
+        self._general_index: dict[str, list[_PredicateKey]] = defaultdict(list)
+        # profile -> number of constrained attributes it needs satisfied
+        self._required_counts: dict[str, int] = {}
+
+        seen_general: dict[str, set[_PredicateKey]] = defaultdict(set)
+        for profile in self.profiles:
+            required = 0
+            for attribute, predicate in profile.predicates.items():
+                if predicate.is_dont_care:
+                    continue
+                required += 1
+                key = _PredicateKey(attribute, predicate)
+                self._subscribers[key].append(profile.profile_id)
+                if isinstance(predicate, Equals):
+                    values = self._equality_index[attribute][predicate.value]
+                    if key not in values:
+                        values.append(key)
+                else:
+                    if key not in seen_general[attribute]:
+                        seen_general[attribute].add(key)
+                        self._general_index[attribute].append(key)
+            self._required_counts[profile.profile_id] = required
+
+    def add_profile(self, profile: Profile) -> None:
+        """Register an additional profile and rebuild the predicate index."""
+        self.profiles.add(profile)
+        self._rebuild()
+
+    def remove_profile(self, profile_id: str) -> None:
+        """Unregister a profile and rebuild the predicate index."""
+        self.profiles.remove(profile_id)
+        self._rebuild()
+
+    # -- matching ---------------------------------------------------------------
+    def match(self, event: Event) -> MatchResult:
+        """Filter one event by counting satisfied predicates per profile."""
+        operations = 0
+        satisfied_counts: dict[str, int] = defaultdict(int)
+
+        for attribute, value in event.values.items():
+            # Equality fast path: one hash lookup, then one operation per
+            # predicate registered exactly on this value.
+            equality_hits = self._equality_index.get(attribute, {}).get(value, [])
+            for key in equality_hits:
+                operations += 1
+                for profile_id in self._subscribers[key]:
+                    satisfied_counts[profile_id] += 1
+            # All other predicate kinds are evaluated one by one.
+            for key in self._general_index.get(attribute, []):
+                operations += 1
+                if key.predicate.matches(value):
+                    for profile_id in self._subscribers[key]:
+                        satisfied_counts[profile_id] += 1
+
+        matched = []
+        for profile in self.profiles:
+            required = self._required_counts[profile.profile_id]
+            if required == 0:
+                # A profile with only don't-care predicates matches everything.
+                matched.append(profile.profile_id)
+            elif satisfied_counts.get(profile.profile_id, 0) >= required:
+                matched.append(profile.profile_id)
+        return MatchResult(tuple(matched), operations, visited_levels=len(event))

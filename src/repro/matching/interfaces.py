@@ -1,0 +1,75 @@
+"""Common matcher interface.
+
+Every filtering algorithm in the library — the naive baseline, the
+counting-based baseline and the (distribution-aware) profile-tree matcher —
+implements the :class:`Matcher` interface: given an event, return the set of
+matching profile ids *and* the number of comparison operations spent, since
+the paper measures filter performance "in comparison steps (# operations)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.core.events import Event
+from repro.core.profiles import Profile, ProfileSet
+
+__all__ = ["MatchResult", "Matcher"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of filtering one event.
+
+    Attributes
+    ----------
+    matched_profile_ids:
+        Ids of all profiles the event satisfies, in deterministic order.
+    operations:
+        Number of comparison steps the matcher spent on this event.
+    visited_levels:
+        Number of tree levels (or passes) the matcher descended before the
+        decision; equals the number of schema attributes for a full match
+        and less for an early rejection.
+    """
+
+    matched_profile_ids: tuple[str, ...]
+    operations: int
+    visited_levels: int = 0
+
+    @property
+    def is_match(self) -> bool:
+        """Return ``True`` when at least one profile matched."""
+        return bool(self.matched_profile_ids)
+
+    def __len__(self) -> int:
+        return len(self.matched_profile_ids)
+
+    def __contains__(self, profile_id: object) -> bool:
+        return profile_id in self.matched_profile_ids
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """Protocol implemented by all filtering algorithms."""
+
+    #: The profile set the matcher was built for.
+    profiles: ProfileSet
+
+    def match(self, event: Event) -> MatchResult:
+        """Filter one event and return the matching profiles with cost."""
+        ...
+
+    def add_profile(self, profile: Profile) -> None:
+        """Register an additional profile (rebuilding indexes as needed)."""
+        ...
+
+    def remove_profile(self, profile_id: str) -> None:
+        """Unregister a profile."""
+        ...
+
+
+def match_all(matcher: Matcher, events: Iterable[Event]) -> list[MatchResult]:
+    """Filter a sequence of events, returning one result per event."""
+    return [matcher.match(event) for event in events]

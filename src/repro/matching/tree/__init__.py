@@ -1,0 +1,45 @@
+"""Tree-based matching: the paper's core filtering algorithm.
+
+The profile tree (after Gough & Smith and Aguilera et al.) has one level per
+attribute; its edges are the sub-ranges the profiles define.  The
+distribution-based improvement of the paper reorders both the edges within a
+node (value selectivity, Measures V1-V3) and the levels of the tree
+(attribute selectivity, Measures A1-A3); both reorderings are expressed as a
+:class:`TreeConfiguration` and applied by rebuilding the tree.
+"""
+
+from repro.matching.tree.builder import ProfileTree, build_tree
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+from repro.matching.tree.matcher import TreeMatcher
+from repro.matching.tree.nodes import TreeEdge, TreeElement, TreeLeaf, TreeNode
+from repro.matching.tree.search import (
+    NodeSearchOutcome,
+    absence_cost_for_gap,
+    absence_max_cost,
+    binary_search_depth,
+    binary_search_max_depth,
+    find_cost,
+    gap_index_for_rank,
+    search_node,
+)
+
+__all__ = [
+    "NodeSearchOutcome",
+    "ProfileTree",
+    "SearchStrategy",
+    "TreeConfiguration",
+    "TreeEdge",
+    "TreeElement",
+    "TreeLeaf",
+    "TreeMatcher",
+    "TreeNode",
+    "ValueOrder",
+    "absence_cost_for_gap",
+    "absence_max_cost",
+    "binary_search_depth",
+    "binary_search_max_depth",
+    "build_tree",
+    "find_cost",
+    "gap_index_for_rank",
+    "search_node",
+]

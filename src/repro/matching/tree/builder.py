@@ -1,0 +1,198 @@
+"""Profile-tree construction.
+
+From a profile set the builder derives, per attribute, the sub-range
+partition (Section 3) and then recursively constructs the tree of height
+``n``: level ``j`` branches on the attribute at position ``j`` of the
+configured attribute order, profiles that do not constrain the attribute are
+replicated under every edge (preserving the single-path property of the
+DFSA), and an additional residual ``*``/``(*)`` edge collects events whose
+value is outside all defined edges but that may still match don't-care
+profiles.  Rebuilding with a different
+:class:`~repro.matching.tree.config.TreeConfiguration` performs the
+distribution-based restructuring of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import TreeConstructionError
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Schema
+from repro.core.subranges import AttributePartition, build_partitions
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+from repro.matching.tree.nodes import TreeEdge, TreeElement, TreeLeaf, TreeNode
+
+__all__ = ["ProfileTree", "build_tree"]
+
+
+@dataclass(frozen=True)
+class ProfileTree:
+    """An immutable, fully built profile tree plus its construction inputs."""
+
+    schema: Schema
+    configuration: TreeConfiguration
+    partitions: Mapping[str, AttributePartition]
+    root: TreeElement
+    profile_count: int
+
+    # -- structural statistics -------------------------------------------------
+    def node_count(self) -> int:
+        """Return the total number of nodes (internal and leaves)."""
+        return self.root.node_count()
+
+    def leaf_count(self) -> int:
+        """Return the number of leaves."""
+        return self.root.leaf_count()
+
+    def height(self) -> int:
+        """Return the height of the tree in edges (``n`` for a full tree)."""
+        return self.root.max_depth()
+
+    def partition_for(self, attribute: str) -> AttributePartition:
+        """Return the sub-range partition of one attribute."""
+        try:
+            return self.partitions[attribute]
+        except KeyError as exc:
+            raise TreeConstructionError(f"no partition for attribute {attribute!r}") from exc
+
+    def describe(self, *, max_edges: int = 12) -> str:
+        """Return an indented textual rendering of the tree (Fig. 1 style)."""
+        lines: list[str] = [
+            f"profile tree [{self.configuration.label}] "
+            f"(attributes: {', '.join(self.configuration.attribute_order)})"
+        ]
+
+        def render(element: TreeElement, indent: int, edge_label: str) -> None:
+            prefix = "  " * indent
+            if element.is_leaf:
+                profiles = ", ".join(element.profile_ids) or "-"
+                lines.append(f"{prefix}{edge_label} -> {{{profiles}}}")
+                return
+            lines.append(f"{prefix}{edge_label} [{element.attribute}]")
+            shown = 0
+            for edge in element.edges:
+                if shown >= max_edges:
+                    lines.append(f"{prefix}  ... ({element.edge_count - shown} more edges)")
+                    break
+                render(edge.child, indent + 1, edge.label())
+                shown += 1
+            if element.residual is not None:
+                label = "*" if not element.edges else "(*)"
+                render(element.residual, indent + 1, label)
+
+        render(self.root, 0, "root")
+        return "\n".join(lines)
+
+
+def build_tree(
+    profiles: ProfileSet,
+    configuration: TreeConfiguration | None = None,
+    *,
+    partitions: Mapping[str, AttributePartition] | None = None,
+) -> ProfileTree:
+    """Build the profile tree for ``profiles`` under ``configuration``.
+
+    ``partitions`` may be supplied to avoid recomputing the per-attribute
+    sub-range decompositions when the same profile set is rebuilt under many
+    configurations (as the reordering experiments do).
+    """
+    schema = profiles.schema
+    if configuration is None:
+        configuration = TreeConfiguration.natural_for_schema(schema)
+    unknown = [a for a in configuration.attribute_order if a not in schema]
+    if unknown:
+        raise TreeConstructionError(f"configuration references unknown attributes {unknown}")
+    if sorted(configuration.attribute_order) != sorted(schema.names):
+        raise TreeConstructionError(
+            "configuration attribute order must be a permutation of the schema "
+            f"attributes {schema.names}, got {list(configuration.attribute_order)}"
+        )
+    if partitions is None:
+        partitions = build_partitions(profiles)
+
+    profile_by_id = {p.profile_id: p for p in profiles}
+    all_ids = tuple(profile_by_id)
+    if not all_ids:
+        return ProfileTree(schema, configuration, dict(partitions), TreeLeaf(tuple()), 0)
+
+    value_orders = {
+        name: configuration.value_order_for(name, partitions[name])
+        for name in configuration.attribute_order
+    }
+
+    def build_level(candidates: tuple[str, ...], level: int) -> TreeElement:
+        if level == len(configuration.attribute_order):
+            return TreeLeaf(candidates)
+        attribute = configuration.attribute_order[level]
+        partition = partitions[attribute]
+        order = value_orders[attribute]
+
+        constraining = [
+            pid for pid in candidates if profile_by_id[pid].constrains(attribute)
+        ]
+        dont_care = tuple(
+            pid for pid in candidates if not profile_by_id[pid].constrains(attribute)
+        )
+        constraining_set = set(constraining)
+
+        # Defined edges: one per partition sub-range accepted by at least one
+        # constraining candidate; don't-care candidates are replicated under
+        # every edge so the single-path property holds.
+        edge_specs: list[tuple[int, tuple[str, ...]]] = []
+        for subrange in partition.subranges:
+            owners = [pid for pid in constraining if pid in subrange.profile_ids]
+            if not owners:
+                continue
+            child_candidates = tuple(owners) + dont_care
+            edge_specs.append((subrange.index, child_candidates))
+
+        # Natural positions follow the partition's natural sub-range order;
+        # probe positions follow the configured value order.
+        natural_rank = {
+            subrange_index: rank + 1
+            for rank, (subrange_index, _) in enumerate(edge_specs)
+        }
+        probe_rank_source = sorted(
+            edge_specs, key=lambda spec: order.position_of(spec[0])
+        )
+        probe_rank = {
+            subrange_index: rank + 1
+            for rank, (subrange_index, _) in enumerate(probe_rank_source)
+        }
+
+        edges = []
+        for subrange_index, child_candidates in probe_rank_source:
+            subrange = partition.subranges[subrange_index]
+            child = build_level(child_candidates, level + 1)
+            edges.append(
+                TreeEdge(
+                    subrange=subrange,
+                    child=child,
+                    probe_position=probe_rank[subrange_index],
+                    natural_position=natural_rank[subrange_index],
+                )
+            )
+        natural_edges = tuple(sorted(edges, key=lambda e: e.natural_position))
+
+        residual: TreeElement | None = None
+        if dont_care:
+            residual = build_level(dont_care, level + 1)
+
+        if not edges and residual is None:
+            # No candidate profile can match any event at this node; this can
+            # only happen for an empty candidate set, which the recursion
+            # never produces, but guard against it for robustness.
+            return TreeLeaf(tuple())
+
+        return TreeNode(
+            attribute=attribute,
+            edges=tuple(edges),
+            natural_edges=natural_edges,
+            residual=residual,
+            candidate_profile_ids=candidates,
+        )
+
+    root = build_level(all_ids, 0)
+    return ProfileTree(schema, configuration, dict(partitions), root, len(all_ids))

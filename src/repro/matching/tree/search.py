@@ -1,0 +1,165 @@
+"""Node search strategies and their operation-cost accounting.
+
+The paper's prototype implements two search strategies inside a tree node
+(Section 4.2): (1) following the edges in the defined (possibly
+probability-based) order with early termination, and (2) binary search on
+the natural order.  Performance is measured in *visited edges / comparison
+steps*, so this module defines, for both strategies,
+
+* the cost of locating a defined edge,
+* the cost of concluding that the searched value is on no defined edge
+  (after which the residual ``*``/``(*)`` edge — if present — is taken at
+  the cost of one more visited edge), and
+* the helpers shared by the runtime matcher and the analytical cost model.
+
+Cost conventions (documented in DESIGN.md and validated against the paper's
+Example 2):
+
+* linear search: finding the edge at probe position ``k`` costs ``k``
+  operations; concluding absence costs the early-termination position in the
+  *natural ascending* order — one probe past the last edge that precedes the
+  value, capped at the number of edges;
+* binary search: finding the edge at natural position ``i`` of ``k`` costs
+  the depth of ``i`` in the binary-search probe sequence; concluding absence
+  costs the maximum depth ``floor(log2(k)) + 1``;
+* taking the residual edge costs one additional operation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import MatchingError
+from repro.matching.tree.config import SearchStrategy
+from repro.matching.tree.nodes import TreeEdge, TreeNode
+
+__all__ = [
+    "binary_search_depth",
+    "binary_search_max_depth",
+    "NodeSearchOutcome",
+    "search_node",
+    "find_cost",
+    "absence_cost_for_gap",
+    "absence_max_cost",
+    "gap_index_for_rank",
+]
+
+
+def binary_search_depth(position: int, count: int) -> int:
+    """Return the number of probes binary search needs to find an element.
+
+    ``position`` is the 0-based index of the element in the sorted order of
+    ``count`` elements.  The classic midpoint-halving search is simulated so
+    the cost profile matches the paper's Example 2 (for three elements the
+    middle one costs 1, the outer ones cost 2).
+    """
+    if not 0 <= position < count:
+        raise MatchingError(f"position {position} out of range for {count} elements")
+    low, high = 0, count - 1
+    probes = 0
+    while low <= high:
+        mid = (low + high) // 2
+        probes += 1
+        if mid == position:
+            return probes
+        if position < mid:
+            high = mid - 1
+        else:
+            low = mid + 1
+    raise MatchingError("binary search failed to terminate")  # pragma: no cover
+
+
+def binary_search_max_depth(count: int) -> int:
+    """Return the probes binary search needs to conclude a value is absent."""
+    if count <= 0:
+        return 0
+    return int(math.floor(math.log2(count))) + 1
+
+
+def find_cost(node: TreeNode, edge: TreeEdge, strategy: SearchStrategy) -> int:
+    """Return the probes needed to locate ``edge`` at ``node``."""
+    if strategy is SearchStrategy.BINARY:
+        return binary_search_depth(edge.natural_position - 1, node.edge_count)
+    return edge.probe_position
+
+
+def gap_index_for_rank(node: TreeNode, natural_rank: int) -> int:
+    """Return the node-level gap index of a value that is on no defined edge.
+
+    ``natural_rank`` is the value's position in the *partition's* natural
+    order: the index of the sub-range containing it, or — for values in the
+    zero-subdomain — the number of partition sub-ranges lying entirely below
+    it.  The gap index is the number of node edges preceding the value,
+    which drives the early-termination rejection cost.
+    """
+    return sum(1 for edge in node.natural_edges if edge.subrange.index < natural_rank)
+
+
+def absence_cost_for_gap(node: TreeNode, gap_index: int, strategy: SearchStrategy) -> int:
+    """Return the probes needed to conclude a value is on no defined edge.
+
+    ``gap_index`` identifies where the value falls relative to the node's
+    edges in natural ascending order: ``0`` = before the first edge,
+    ``i`` = between edge ``i`` and edge ``i + 1``, ``edge_count`` = after the
+    last edge.  With linear search the scan stops at the first edge beyond
+    the value (early termination); with binary search the cost is the
+    worst-case probe depth regardless of the gap.
+    """
+    count = node.edge_count
+    if count == 0:
+        return 0
+    if not 0 <= gap_index <= count:
+        raise MatchingError(f"gap index {gap_index} out of range for {count} edges")
+    if strategy is SearchStrategy.BINARY:
+        return binary_search_max_depth(count)
+    return min(gap_index + 1, count)
+
+
+def absence_max_cost(node: TreeNode, strategy: SearchStrategy) -> int:
+    """Return the worst-case absence cost at ``node``."""
+    return absence_cost_for_gap(node, node.edge_count, strategy)
+
+
+@dataclass(frozen=True)
+class NodeSearchOutcome:
+    """Result of probing one node for an event value."""
+
+    #: The defined edge containing the value, or ``None``.
+    edge: TreeEdge | None
+    #: Whether the residual edge was taken instead of a defined edge.
+    took_residual: bool
+    #: Comparison operations spent at the node (including the residual probe).
+    operations: int
+
+
+def search_node(
+    node: TreeNode,
+    target_subrange_index: int | None,
+    natural_rank: int,
+    strategy: SearchStrategy,
+) -> NodeSearchOutcome:
+    """Probe ``node`` for an event value and account the operations.
+
+    Parameters
+    ----------
+    target_subrange_index:
+        Index of the partition sub-range containing the event value, or
+        ``None`` when the value lies in the zero-subdomain ``D_0``.
+    natural_rank:
+        The value's natural-order rank within the partition (equal to
+        ``target_subrange_index`` when that is not ``None``); used for the
+        early-termination rejection cost.
+    strategy:
+        Linear (configured order) or binary (natural order) probing.
+    """
+    if target_subrange_index is not None:
+        edge = node.edge_for_subrange(target_subrange_index)
+        if edge is not None:
+            return NodeSearchOutcome(edge, False, find_cost(node, edge, strategy))
+
+    gap = gap_index_for_rank(node, natural_rank)
+    operations = absence_cost_for_gap(node, gap, strategy)
+    if node.has_residual:
+        return NodeSearchOutcome(None, True, operations + 1)
+    return NodeSearchOutcome(None, False, operations)

@@ -1,0 +1,30 @@
+"""Selectivity measures and the distribution-aware tree optimizer.
+
+Implements the value-selectivity measures V1-V3 and the attribute-selectivity
+measures A1-A3 of Section 4.1 plus the :class:`TreeOptimizer` that combines
+them with event/profile distributions into tree configurations.
+"""
+
+from repro.selectivity.attribute_measures import (
+    AttributeMeasure,
+    a3_order,
+    attribute_order_from_measure,
+    attribute_selectivities,
+)
+from repro.selectivity.optimizer import TreeOptimizer
+from repro.selectivity.value_measures import (
+    ValueMeasure,
+    value_order_from_measure,
+    value_selectivities,
+)
+
+__all__ = [
+    "AttributeMeasure",
+    "TreeOptimizer",
+    "ValueMeasure",
+    "a3_order",
+    "attribute_order_from_measure",
+    "attribute_selectivities",
+    "value_order_from_measure",
+    "value_selectivities",
+]

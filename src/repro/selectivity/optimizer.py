@@ -1,0 +1,153 @@
+"""The tree optimizer: turns measures + distributions into configurations.
+
+This is the "adaptive filter component that optimizes the profile tree for
+certain applications based on the data distributions" (Section 1): given the
+profile set, the (known or estimated) per-attribute event distributions and
+a choice of value/attribute measures, it produces the
+:class:`~repro.matching.tree.config.TreeConfiguration` that the matcher is
+rebuilt with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import SelectivityError
+from repro.core.profiles import ProfileSet
+from repro.core.subranges import AttributePartition, build_partitions
+from repro.distributions.base import (
+    Distribution,
+    SubrangeDistribution,
+    project_onto_partition,
+)
+from repro.distributions.estimation import estimate_profile_distribution
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+from repro.selectivity.attribute_measures import (
+    AttributeMeasure,
+    attribute_order_from_measure,
+    attribute_selectivities,
+)
+from repro.selectivity.value_measures import ValueMeasure, value_order_from_measure
+
+__all__ = ["TreeOptimizer"]
+
+
+class TreeOptimizer:
+    """Derives distribution-aware tree configurations for a profile set."""
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        event_distributions: Mapping[str, Distribution],
+        *,
+        partitions: Mapping[str, AttributePartition] | None = None,
+        profile_distributions: Mapping[str, SubrangeDistribution] | None = None,
+    ) -> None:
+        self._profiles = profiles
+        self._schema = profiles.schema
+        self._partitions = dict(partitions) if partitions is not None else build_partitions(profiles)
+        missing = [name for name in self._schema.names if name not in event_distributions]
+        if missing:
+            raise SelectivityError(f"missing event distributions for attributes {missing}")
+        self._event_distributions = dict(event_distributions)
+        self._event_subrange: dict[str, SubrangeDistribution] = {
+            name: project_onto_partition(self._event_distributions[name], self._partitions[name])
+            for name in self._schema.names
+        }
+        if profile_distributions is None:
+            self._profile_subrange = {
+                name: estimate_profile_distribution(profiles, self._partitions[name])
+                for name in self._schema.names
+            }
+        else:
+            self._profile_subrange = dict(profile_distributions)
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def partitions(self) -> Mapping[str, AttributePartition]:
+        return self._partitions
+
+    def event_subrange_distribution(self, attribute: str) -> SubrangeDistribution:
+        """Return ``P_e`` projected on the attribute's sub-ranges."""
+        return self._event_subrange[attribute]
+
+    def profile_subrange_distribution(self, attribute: str) -> SubrangeDistribution:
+        """Return the empirical profile distribution ``P_p`` of an attribute."""
+        return self._profile_subrange[attribute]
+
+    def attribute_scores(self, measure: AttributeMeasure) -> dict[str, float]:
+        """Return the per-attribute selectivity scores (A1/A2 only)."""
+        return attribute_selectivities(measure, self._partitions, self._event_subrange)
+
+    # -- order derivation ---------------------------------------------------------
+    def value_order(
+        self,
+        attribute: str,
+        measure: ValueMeasure,
+        *,
+        descending: bool = True,
+    ) -> ValueOrder:
+        """Return the probe order of one attribute under a value measure."""
+        return value_order_from_measure(
+            measure,
+            self._partitions[attribute],
+            self._event_subrange[attribute],
+            self._profile_subrange[attribute],
+            descending=descending,
+        )
+
+    def attribute_order(
+        self,
+        measure: AttributeMeasure,
+        *,
+        descending: bool = True,
+        cost_function: Callable[[Sequence[str]], float] | None = None,
+    ) -> tuple[str, ...]:
+        """Return the tree-level order under an attribute measure."""
+        return attribute_order_from_measure(
+            measure,
+            self._partitions,
+            self._event_subrange,
+            natural_order=self._schema.names,
+            descending=descending,
+            cost_function=cost_function,
+        )
+
+    def configuration(
+        self,
+        *,
+        value_measure: ValueMeasure = ValueMeasure.NATURAL,
+        attribute_measure: AttributeMeasure = AttributeMeasure.NATURAL,
+        search: SearchStrategy = SearchStrategy.LINEAR,
+        value_descending: bool = True,
+        attribute_descending: bool = True,
+        cost_function: Callable[[Sequence[str]], float] | None = None,
+        label: str | None = None,
+    ) -> TreeConfiguration:
+        """Return a complete tree configuration for the given measures.
+
+        ``value_descending`` / ``attribute_descending`` select the paper's
+        descending-selectivity reordering (default) or the ascending
+        worst-case variant used for comparison in the Fig. 6 experiments.
+        """
+        attribute_order = self.attribute_order(
+            attribute_measure,
+            descending=attribute_descending,
+            cost_function=cost_function,
+        )
+        value_orders: dict[str, ValueOrder] = {}
+        if value_measure is not ValueMeasure.NATURAL or not value_descending:
+            for name in attribute_order:
+                value_orders[name] = self.value_order(
+                    name, value_measure, descending=value_descending
+                )
+        if label is None:
+            direction = "" if attribute_descending else " (ascending)"
+            label = f"{value_measure.value} + {attribute_measure.value}{direction} [{search.value}]"
+        return TreeConfiguration(
+            attribute_order=attribute_order,
+            value_orders=value_orders,
+            search=search,
+            label=label,
+        )

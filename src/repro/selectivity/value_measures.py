@@ -1,0 +1,119 @@
+"""Value-selectivity measures (Section 4.1, Measures V1-V3).
+
+A value-selectivity measure ``s_val : W -> R`` assigns a score to every
+defined sub-range of an attribute; the probe order of the tree edges follows
+*descending* selectivity (``s_val(x_i) >= s_val(x_j)  =>  o_v(i) > o_v(j)``
+in the paper's notation, i.e. higher selectivity is probed earlier).  Values
+with equal selectivity keep their natural relative order, and "the
+selectivity of values not contained in the profile tree is defined as zero".
+
+The three measures proposed by the paper:
+
+* **V1** — event probability ``P_e(x_i)``: frequent event values first;
+* **V2** — profile probability ``P_p(x_i)``: values many profiles refer to
+  first (user-centric);
+* **V3** — combined ``P_e(x_i) * P_p(x_i)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+from repro.core.errors import SelectivityError
+from repro.core.subranges import AttributePartition
+from repro.distributions.base import SubrangeDistribution
+from repro.matching.tree.config import ValueOrder
+
+__all__ = ["ValueMeasure", "value_selectivities", "value_order_from_measure"]
+
+
+class ValueMeasure(str, enum.Enum):
+    """Identifier of a value-ordering strategy."""
+
+    #: Natural ascending order of the sub-ranges (no reordering).
+    NATURAL = "natural"
+    #: Measure V1: descending event probability.
+    V1_EVENT = "V1"
+    #: Measure V2: descending profile probability.
+    V2_PROFILE = "V2"
+    #: Measure V3: descending combined event*profile probability.
+    V3_COMBINED = "V3"
+
+    @classmethod
+    def parse(cls, name: str) -> "ValueMeasure":
+        """Parse a measure from a string such as ``"V1"`` or ``"natural"``."""
+        key = name.strip().lower()
+        aliases = {
+            "natural": cls.NATURAL,
+            "v1": cls.V1_EVENT,
+            "event": cls.V1_EVENT,
+            "event order": cls.V1_EVENT,
+            "v2": cls.V2_PROFILE,
+            "profile": cls.V2_PROFILE,
+            "profile order": cls.V2_PROFILE,
+            "v3": cls.V3_COMBINED,
+            "combined": cls.V3_COMBINED,
+            "event * profile": cls.V3_COMBINED,
+        }
+        try:
+            return aliases[key]
+        except KeyError as exc:
+            raise SelectivityError(f"unknown value measure {name!r}") from exc
+
+
+def value_selectivities(
+    measure: ValueMeasure,
+    partition: AttributePartition,
+    event_distribution: SubrangeDistribution | None = None,
+    profile_distribution: SubrangeDistribution | None = None,
+) -> list[float]:
+    """Return the selectivity score of every sub-range (natural index order)."""
+    count = len(partition.subranges)
+    if measure is ValueMeasure.NATURAL:
+        # Scores that reproduce the natural order when sorted descending with
+        # stable natural tie-breaking: all equal.
+        return [0.0] * count
+    if measure is ValueMeasure.V1_EVENT:
+        if event_distribution is None:
+            raise SelectivityError("Measure V1 needs the event distribution P_e")
+        return [event_distribution.probability_by_index(i) for i in range(count)]
+    if measure is ValueMeasure.V2_PROFILE:
+        if profile_distribution is None:
+            raise SelectivityError("Measure V2 needs the profile distribution P_p")
+        return [profile_distribution.probability_by_index(i) for i in range(count)]
+    if measure is ValueMeasure.V3_COMBINED:
+        if event_distribution is None or profile_distribution is None:
+            raise SelectivityError("Measure V3 needs both P_e and P_p")
+        return [
+            event_distribution.probability_by_index(i)
+            * profile_distribution.probability_by_index(i)
+            for i in range(count)
+        ]
+    raise SelectivityError(f"unhandled value measure {measure!r}")  # pragma: no cover
+
+
+def value_order_from_measure(
+    measure: ValueMeasure,
+    partition: AttributePartition,
+    event_distribution: SubrangeDistribution | None = None,
+    profile_distribution: SubrangeDistribution | None = None,
+    *,
+    descending: bool = True,
+) -> ValueOrder:
+    """Return the probe order implied by a value-selectivity measure.
+
+    Sub-ranges are ranked by descending selectivity (the paper's reordering
+    rule); ties keep their natural ascending order.  ``descending=False``
+    yields the reversed ("worst-case") order used in the attribute-reordering
+    experiments for comparison.
+    """
+    scores = value_selectivities(measure, partition, event_distribution, profile_distribution)
+    indices = list(range(len(scores)))
+    if descending:
+        ranked = sorted(indices, key=lambda i: (-scores[i], i))
+    else:
+        ranked = sorted(indices, key=lambda i: (scores[i], i))
+    if measure is ValueMeasure.NATURAL:
+        ranked = indices if descending else list(reversed(indices))
+    return ValueOrder.from_ranking(partition.attribute.name, ranked)

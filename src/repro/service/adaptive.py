@@ -1,0 +1,210 @@
+"""The adaptive filter component.
+
+Section 4 of the paper: the distribution-based algorithm "can either work
+based on predefined distributions for the observed events, or it has to
+maintain a history of events in order to determine the event distribution";
+Section 1 promises "an adaptive filter component that optimizes the profile
+tree for certain applications based on the data distributions".
+
+:class:`AdaptiveFilterEngine` wraps a
+:class:`~repro.matching.tree.matcher.TreeMatcher` and
+
+* records every filtered event in a bounded
+  :class:`~repro.distributions.estimation.EventHistory`,
+* periodically (every ``reoptimize_interval`` events) estimates the current
+  per-attribute event distributions from the history,
+* derives a candidate configuration from the configured value/attribute
+  measures via the :class:`~repro.selectivity.optimizer.TreeOptimizer`, and
+* restructures the tree when the analytical model predicts at least
+  ``improvement_threshold`` relative improvement over the current
+  configuration (restructuring has a cost, so marginal gains are ignored —
+  the paper recommends reordering only "for systems with stable
+  distributions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.cost_model import expected_tree_cost
+from repro.core.errors import ServiceError
+from repro.core.events import Event
+from repro.core.profiles import Profile, ProfileSet
+from repro.distributions.base import Distribution
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.estimation import EventHistory
+from repro.matching.interfaces import MatchResult
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration
+from repro.matching.tree.matcher import TreeMatcher
+from repro.selectivity.attribute_measures import AttributeMeasure
+from repro.selectivity.optimizer import TreeOptimizer
+from repro.selectivity.value_measures import ValueMeasure
+
+__all__ = ["AdaptationPolicy", "AdaptationRecord", "AdaptiveFilterEngine"]
+
+
+@dataclass(frozen=True)
+class AdaptationPolicy:
+    """Tuning knobs of the adaptive filter component."""
+
+    #: Value-selectivity measure used when re-optimising.
+    value_measure: ValueMeasure = ValueMeasure.V1_EVENT
+    #: Attribute-selectivity measure used when re-optimising.
+    attribute_measure: AttributeMeasure = AttributeMeasure.A2_ZERO_PROBABILITY
+    #: Node search strategy of the rebuilt tree.
+    search: SearchStrategy = SearchStrategy.LINEAR
+    #: Re-optimisation is considered every this many filtered events.
+    reoptimize_interval: int = 1000
+    #: Minimum number of observed events before the first re-optimisation.
+    warmup_events: int = 200
+    #: Minimum relative improvement (predicted) required to restructure.
+    improvement_threshold: float = 0.05
+    #: Length of the sliding event history window.
+    history_length: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.reoptimize_interval <= 0:
+            raise ServiceError("reoptimize_interval must be positive")
+        if self.warmup_events < 0:
+            raise ServiceError("warmup_events must be non-negative")
+        if not 0.0 <= self.improvement_threshold < 1.0:
+            raise ServiceError("improvement_threshold must lie in [0, 1)")
+        if self.history_length <= 0:
+            raise ServiceError("history_length must be positive")
+
+
+@dataclass(frozen=True)
+class AdaptationRecord:
+    """One re-optimisation decision (for observability and tests)."""
+
+    event_count: int
+    predicted_current: float
+    predicted_candidate: float
+    applied: bool
+    configuration_label: str
+
+    @property
+    def predicted_improvement(self) -> float:
+        """Return the predicted relative improvement of the candidate."""
+        if self.predicted_current <= 0:
+            return 0.0
+        return 1.0 - self.predicted_candidate / self.predicted_current
+
+
+class AdaptiveFilterEngine:
+    """A tree matcher that restructures itself from the observed history."""
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        *,
+        policy: AdaptationPolicy | None = None,
+        initial_configuration: TreeConfiguration | None = None,
+    ) -> None:
+        self.policy = policy or AdaptationPolicy()
+        self.profiles = profiles
+        self._matcher = TreeMatcher(profiles, initial_configuration)
+        self._history = EventHistory(profiles.schema, max_length=self.policy.history_length)
+        self._events_filtered = 0
+        self._events_at_last_check = 0
+        self._adaptations: list[AdaptationRecord] = []
+
+    # -- delegation ---------------------------------------------------------------
+    @property
+    def matcher(self) -> TreeMatcher:
+        """Return the wrapped tree matcher."""
+        return self._matcher
+
+    @property
+    def history(self) -> EventHistory:
+        """Return the sliding event history."""
+        return self._history
+
+    @property
+    def configuration(self) -> TreeConfiguration:
+        return self._matcher.configuration
+
+    def adaptations(self) -> list[AdaptationRecord]:
+        """Return every re-optimisation decision taken so far."""
+        return list(self._adaptations)
+
+    def add_profile(self, profile: Profile) -> None:
+        """Register a profile (delegates to the matcher)."""
+        self._matcher.add_profile(profile)
+
+    def remove_profile(self, profile_id: str) -> None:
+        """Unregister a profile (delegates to the matcher)."""
+        self._matcher.remove_profile(profile_id)
+
+    # -- filtering ----------------------------------------------------------------
+    def match(self, event: Event) -> MatchResult:
+        """Filter one event, record it, and re-optimise when due."""
+        result = self._matcher.match(event)
+        self._history.observe(event)
+        self._events_filtered += 1
+        if self._reoptimisation_due():
+            self._consider_reoptimisation()
+        return result
+
+    def _reoptimisation_due(self) -> bool:
+        if self._events_filtered < self.policy.warmup_events:
+            return False
+        return (
+            self._events_filtered - self._events_at_last_check
+            >= self.policy.reoptimize_interval
+        )
+
+    # -- re-optimisation ---------------------------------------------------------------
+    def estimated_event_distributions(self) -> Mapping[str, Distribution]:
+        """Return per-attribute distributions estimated from the history."""
+        distributions: dict[str, Distribution] = {}
+        for attribute in self.profiles.schema:
+            counter = self._history.counter(attribute.name)
+            if counter.total == 0:
+                raise ServiceError(
+                    f"no observations recorded for attribute {attribute.name!r}"
+                )
+            distributions[attribute.name] = counter.to_distribution()
+        return distributions
+
+    def _consider_reoptimisation(self) -> None:
+        self._events_at_last_check = self._events_filtered
+        try:
+            distributions = self.estimated_event_distributions()
+        except ServiceError:
+            return
+        optimizer = TreeOptimizer(
+            self.profiles,
+            distributions,
+            partitions=dict(self._matcher.partitions()),
+        )
+        candidate = optimizer.configuration(
+            value_measure=self.policy.value_measure,
+            attribute_measure=self.policy.attribute_measure,
+            search=self.policy.search,
+        )
+        from repro.matching.tree.builder import build_tree
+
+        candidate_tree = build_tree(
+            self.profiles, candidate, partitions=dict(self._matcher.partitions())
+        )
+        current_cost = expected_tree_cost(self._matcher.tree, distributions)
+        candidate_cost = expected_tree_cost(candidate_tree, distributions)
+        predicted_current = current_cost.operations_per_event
+        predicted_candidate = candidate_cost.operations_per_event
+        improvement = (
+            1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
+        )
+        applied = improvement >= self.policy.improvement_threshold
+        if applied:
+            self._matcher.reconfigure(candidate)
+        self._adaptations.append(
+            AdaptationRecord(
+                event_count=self._events_filtered,
+                predicted_current=predicted_current,
+                predicted_candidate=predicted_candidate,
+                applied=applied,
+                configuration_label=candidate.label,
+            )
+        )

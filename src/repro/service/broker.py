@@ -1,0 +1,200 @@
+"""A single event-notification broker.
+
+The broker is the operational wrapper around the filter component: it
+manages subscriptions, filters published events with either a plain
+:class:`~repro.matching.tree.matcher.TreeMatcher` or the
+:class:`~repro.service.adaptive.AdaptiveFilterEngine`, delivers
+notifications to subscriber sinks, keeps the service-level statistics
+(operations per event / per profile, the metrics of Fig. 5) and optionally
+applies publisher-side quenching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.errors import ServiceError
+from repro.core.events import Event
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Schema
+from repro.matching.interfaces import MatchResult
+from repro.matching.statistics import FilterStatistics
+from repro.matching.tree.config import TreeConfiguration
+from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+from repro.service.notifications import Notification, NotificationLog, NotificationSink
+from repro.service.quenching import Quencher
+from repro.service.subscriptions import Subscription, SubscriptionRegistry
+
+__all__ = ["Broker", "PublishOutcome"]
+
+
+@dataclass(frozen=True)
+class PublishOutcome:
+    """Result of publishing one event to a broker."""
+
+    event: Event
+    quenched: bool
+    match_result: MatchResult | None
+    notifications: tuple[Notification, ...]
+
+    @property
+    def delivered(self) -> int:
+        """Return the number of notifications delivered."""
+        return len(self.notifications)
+
+
+class Broker:
+    """A content-based publish/subscribe broker."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        broker_id: str = "broker-1",
+        adaptive: bool = False,
+        adaptation_policy: AdaptationPolicy | None = None,
+        configuration: TreeConfiguration | None = None,
+        enable_quenching: bool = False,
+    ) -> None:
+        self.broker_id = broker_id
+        self._schema = schema
+        self._registry = SubscriptionRegistry(schema)
+        self._profiles = ProfileSet(schema)
+        self._adaptive = adaptive
+        self._adaptation_policy = adaptation_policy
+        self._configuration = configuration
+        self._engine: AdaptiveFilterEngine | None = None
+        self._statistics = FilterStatistics()
+        self._log = NotificationLog()
+        self._quencher: Quencher | None = Quencher(self._profiles) if enable_quenching else None
+        self._quenched_events = 0
+        self._clock = 0.0
+        self._rebuild_engine()
+
+    # -- engine management --------------------------------------------------------
+    def _rebuild_engine(self) -> None:
+        if len(self._profiles) == 0:
+            self._engine = None
+            return
+        policy = self._adaptation_policy or AdaptationPolicy()
+        if not self._adaptive:
+            # A non-adaptive broker still uses the adaptive engine object but
+            # with an interval large enough that it never restructures; this
+            # keeps a single code path for filtering and history keeping.
+            policy = AdaptationPolicy(
+                value_measure=policy.value_measure,
+                attribute_measure=policy.attribute_measure,
+                search=policy.search,
+                reoptimize_interval=2**31,
+                warmup_events=2**31,
+                improvement_threshold=policy.improvement_threshold,
+                history_length=policy.history_length,
+            )
+        self._engine = AdaptiveFilterEngine(
+            self._profiles,
+            policy=policy,
+            initial_configuration=self._configuration,
+        )
+        if self._quencher is not None:
+            self._quencher = Quencher(self._profiles)
+
+    # -- subscription management -----------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def subscriptions(self) -> SubscriptionRegistry:
+        return self._registry
+
+    @property
+    def profiles(self) -> ProfileSet:
+        return self._profiles
+
+    @property
+    def statistics(self) -> FilterStatistics:
+        return self._statistics
+
+    @property
+    def notification_log(self) -> NotificationLog:
+        return self._log
+
+    @property
+    def engine(self) -> AdaptiveFilterEngine:
+        """Return the filter engine (raises when no subscription exists)."""
+        if self._engine is None:
+            raise ServiceError("the broker has no subscriptions yet")
+        return self._engine
+
+    @property
+    def quenched_events(self) -> int:
+        """Return how many published events were quenched."""
+        return self._quenched_events
+
+    def subscribe(
+        self,
+        profile: Profile,
+        subscriber: str,
+        *,
+        sink: NotificationSink | None = None,
+    ) -> Subscription:
+        """Register a subscription and rebuild the filter component."""
+        subscription = self._registry.subscribe(profile, subscriber, sink=sink)
+        self._profiles = self._registry.profile_set()
+        self._rebuild_engine()
+        return subscription
+
+    def subscribe_all(
+        self, profiles: Iterable[Profile], subscriber: str = "anonymous"
+    ) -> list[Subscription]:
+        """Register many subscriptions at once (single rebuild)."""
+        subscriptions = [
+            self._registry.subscribe(profile, profile.subscriber or subscriber)
+            for profile in profiles
+        ]
+        self._profiles = self._registry.profile_set()
+        self._rebuild_engine()
+        return subscriptions
+
+    def unsubscribe(self, subscription_id: str) -> Subscription:
+        """Remove a subscription and rebuild the filter component."""
+        subscription = self._registry.unsubscribe(subscription_id)
+        self._profiles = self._registry.profile_set()
+        self._rebuild_engine()
+        return subscription
+
+    # -- publishing --------------------------------------------------------------------
+    def publish(self, event: Event, *, timestamp: float | None = None) -> PublishOutcome:
+        """Publish one event: quench, filter, and deliver notifications."""
+        event.validate(self._schema, require_all=True)
+        self._clock = timestamp if timestamp is not None else self._clock + 1.0
+
+        if self._quencher is not None and self._quencher.quench(event):
+            self._quenched_events += 1
+            return PublishOutcome(event, True, None, tuple())
+
+        if self._engine is None:
+            return PublishOutcome(event, False, None, tuple())
+
+        result = self._engine.match(event)
+        self._statistics.record(result)
+        notifications = []
+        for profile_id in result.matched_profile_ids:
+            subscription = self._registry.by_profile_id(profile_id)
+            notification = Notification(
+                event=event,
+                profile_id=profile_id,
+                subscriber=subscription.subscriber,
+                broker_id=self.broker_id,
+                delivered_at=self._clock,
+                filter_operations=result.operations,
+            )
+            self._log.deliver(notification)
+            subscription.deliver(notification)
+            notifications.append(notification)
+        return PublishOutcome(event, False, result, tuple(notifications))
+
+    def publish_all(self, events: Iterable[Event]) -> list[PublishOutcome]:
+        """Publish a sequence of events."""
+        return [self.publish(event) for event in events]

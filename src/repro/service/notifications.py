@@ -1,0 +1,87 @@
+"""Notifications delivered by the event notification service.
+
+An ENS "informs its users about new events that occurred on providers'
+sites" — a notification pairs one matched event with one profile (and hence
+one subscriber).  The classes here are deliberately small value objects plus
+an in-memory delivery log used by the examples, the tests and the service
+statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.core.events import Event
+
+__all__ = ["Notification", "NotificationLog", "NotificationSink"]
+
+#: Callback type invoked for every delivered notification.
+NotificationSink = Callable[["Notification"], None]
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One delivered notification: ``event`` matched ``profile_id``."""
+
+    event: Event
+    profile_id: str
+    subscriber: str | None = None
+    broker_id: str | None = None
+    delivered_at: float = 0.0
+    #: Comparison operations the filter spent on the event that produced
+    #: this notification (used for the per-profile statistics of Fig. 5(b)).
+    filter_operations: int = 0
+
+
+class NotificationLog:
+    """In-memory sink collecting notifications for inspection."""
+
+    def __init__(self) -> None:
+        self._notifications: list[Notification] = []
+        self._per_profile: Counter = Counter()
+        self._per_subscriber: Counter = Counter()
+
+    def __call__(self, notification: Notification) -> None:
+        self.deliver(notification)
+
+    def deliver(self, notification: Notification) -> None:
+        """Record one notification."""
+        self._notifications.append(notification)
+        self._per_profile[notification.profile_id] += 1
+        if notification.subscriber is not None:
+            self._per_subscriber[notification.subscriber] += 1
+
+    # -- access ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._notifications)
+
+    def __iter__(self) -> Iterator[Notification]:
+        return iter(self._notifications)
+
+    def all(self) -> list[Notification]:
+        """Return every recorded notification in delivery order."""
+        return list(self._notifications)
+
+    def for_profile(self, profile_id: str) -> list[Notification]:
+        """Return the notifications of one profile."""
+        return [n for n in self._notifications if n.profile_id == profile_id]
+
+    def for_subscriber(self, subscriber: str) -> list[Notification]:
+        """Return the notifications of one subscriber."""
+        return [n for n in self._notifications if n.subscriber == subscriber]
+
+    def count_per_profile(self) -> Mapping[str, int]:
+        """Return the notification counts keyed by profile id."""
+        return dict(self._per_profile)
+
+    def count_per_subscriber(self) -> Mapping[str, int]:
+        """Return the notification counts keyed by subscriber."""
+        return dict(self._per_subscriber)
+
+    def clear(self) -> None:
+        """Forget all recorded notifications."""
+        self._notifications.clear()
+        self._per_profile.clear()
+        self._per_subscriber.clear()

@@ -1,0 +1,71 @@
+"""Quenching (after the Elvin notification service).
+
+The related work section cites Elvin's "quenching mechanism that discards
+unneeded information without consuming resources": publishers are told which
+events *cannot possibly* match any subscription, so they need not even be
+sent to the broker.  In the vocabulary of this paper, an event is quenchable
+when, for at least one attribute without don't-care subscribers, its value
+falls into the zero-subdomain ``D_0`` — exactly the early-rejection
+criterion that the attribute-selectivity measures exploit inside the tree,
+applied here *before* filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet
+from repro.core.subranges import AttributePartition, build_partitions
+
+__all__ = ["QuenchDecision", "Quencher"]
+
+
+@dataclass(frozen=True)
+class QuenchDecision:
+    """Outcome of a quench test for one event."""
+
+    quenched: bool
+    #: The attribute that proved no profile can match, if any.
+    rejecting_attribute: str | None = None
+
+
+class Quencher:
+    """Publisher-side filter suppressing events no subscription can match."""
+
+    def __init__(self, profiles: ProfileSet) -> None:
+        self._profiles = profiles
+        self._partitions: Mapping[str, AttributePartition] = build_partitions(profiles)
+
+    def refresh(self) -> None:
+        """Recompute the coverage after subscriptions changed."""
+        self._partitions = build_partitions(self._profiles)
+
+    def partitions(self) -> Mapping[str, AttributePartition]:
+        """Return the per-attribute coverage used by the quench test."""
+        return dict(self._partitions)
+
+    def decide(self, event: Event) -> QuenchDecision:
+        """Return whether ``event`` can be dropped at the publisher.
+
+        The event is quenchable when some attribute it carries has no
+        don't-care subscriber and the event value lies on none of the
+        defined sub-ranges (so every profile fails on that attribute).
+        An empty profile set quenches everything.
+        """
+        if len(self._profiles) == 0:
+            return QuenchDecision(True, None)
+        for name, value in event.values.items():
+            partition = self._partitions.get(name)
+            if partition is None:
+                continue
+            if partition.dont_care_profile_ids:
+                continue
+            if partition.locate(value) is None:
+                return QuenchDecision(True, name)
+        return QuenchDecision(False, None)
+
+    def quench(self, event: Event) -> bool:
+        """Return ``True`` when the event should be suppressed."""
+        return self.decide(event).quenched

@@ -1,0 +1,13 @@
+"""Distributed broker-overlay routing (Siena-style, with covering)."""
+
+from repro.service.routing.covering import minimal_cover, predicate_covers, profile_covers
+from repro.service.routing.network import BrokerNetwork, DeliveryReport, RoutingBroker
+
+__all__ = [
+    "BrokerNetwork",
+    "DeliveryReport",
+    "RoutingBroker",
+    "minimal_cover",
+    "predicate_covers",
+    "profile_covers",
+]

@@ -1,0 +1,113 @@
+"""Subscription management.
+
+A subscription binds a profile to a subscriber and a delivery callback.  The
+registry keeps the authoritative :class:`~repro.core.profiles.ProfileSet`
+the filter component is built from and supports the subscribe/unsubscribe
+life-cycle of the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.core.errors import SubscriptionError
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Schema
+from repro.service.notifications import Notification, NotificationSink
+
+__all__ = ["Subscription", "SubscriptionRegistry"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One active subscription."""
+
+    subscription_id: str
+    profile: Profile
+    subscriber: str
+    sink: NotificationSink | None = None
+
+    def deliver(self, notification: Notification) -> None:
+        """Invoke the subscription's sink, if any."""
+        if self.sink is not None:
+            self.sink(notification)
+
+
+class SubscriptionRegistry:
+    """Registry of the subscriptions known to one broker."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._subscriptions: dict[str, Subscription] = {}
+        self._by_profile_id: dict[str, str] = {}
+        self._counter = 0
+
+    # -- life-cycle -----------------------------------------------------------
+    def subscribe(
+        self,
+        profile: Profile,
+        subscriber: str,
+        *,
+        sink: NotificationSink | None = None,
+        subscription_id: str | None = None,
+    ) -> Subscription:
+        """Register a subscription for ``profile`` on behalf of ``subscriber``."""
+        profile.validate(self._schema)
+        if profile.profile_id in self._by_profile_id:
+            raise SubscriptionError(
+                f"profile id {profile.profile_id!r} already has a subscription"
+            )
+        if subscription_id is None:
+            self._counter += 1
+            subscription_id = f"sub-{self._counter}"
+        if subscription_id in self._subscriptions:
+            raise SubscriptionError(f"duplicate subscription id {subscription_id!r}")
+        subscription = Subscription(subscription_id, profile, subscriber, sink)
+        self._subscriptions[subscription_id] = subscription
+        self._by_profile_id[profile.profile_id] = subscription_id
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> Subscription:
+        """Remove a subscription and return it."""
+        try:
+            subscription = self._subscriptions.pop(subscription_id)
+        except KeyError as exc:
+            raise SubscriptionError(f"unknown subscription id {subscription_id!r}") from exc
+        del self._by_profile_id[subscription.profile.profile_id]
+        return subscription
+
+    # -- access -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __iter__(self) -> Iterator[Subscription]:
+        return iter(self._subscriptions.values())
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return subscription_id in self._subscriptions
+
+    def get(self, subscription_id: str) -> Subscription:
+        try:
+            return self._subscriptions[subscription_id]
+        except KeyError as exc:
+            raise SubscriptionError(f"unknown subscription id {subscription_id!r}") from exc
+
+    def by_profile_id(self, profile_id: str) -> Subscription:
+        """Return the subscription registered for a profile id."""
+        try:
+            return self._subscriptions[self._by_profile_id[profile_id]]
+        except KeyError as exc:
+            raise SubscriptionError(f"no subscription for profile id {profile_id!r}") from exc
+
+    def subscribers(self) -> list[str]:
+        """Return the distinct subscriber names."""
+        return sorted({s.subscriber for s in self._subscriptions.values()})
+
+    def profile_set(self) -> ProfileSet:
+        """Return a fresh profile set of all subscribed profiles."""
+        return ProfileSet(self._schema, (s.profile for s in self._subscriptions.values()))
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema

@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate for the distributed examples."""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import ScheduledEvent, SimulationEngine
+from repro.simulation.latency import (
+    ConstantLatency,
+    LatencyModel,
+    PerHopLatency,
+    UniformLatency,
+)
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "PerHopLatency",
+    "ScheduledEvent",
+    "SimulationClock",
+    "SimulationEngine",
+    "UniformLatency",
+]

@@ -1,0 +1,47 @@
+"""Simulated time.
+
+The distributed examples and the broker-network substrate run on simulated
+time: a monotonically advancing clock owned by the discrete-event engine.
+Keeping the clock separate from the engine lets components (brokers, links,
+statistics) read the current time without holding a reference to the whole
+simulation.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """A monotone simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Return the current simulated time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Moving backwards is a programming error in the driving engine and
+        raises :class:`SimulationError`.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` time units."""
+        if delta < 0:
+            raise SimulationError("cannot advance the clock by a negative delta")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"SimulationClock(now={self._now})"

@@ -1,0 +1,70 @@
+"""Network latency models for the broker overlay.
+
+The paper evaluates a single-node filter; the "distributed" aspect of the
+venue (and of the cited Siena/Elvin systems) enters through broker networks
+where profile propagation and event routing cross links with non-zero
+latency.  These small models keep the examples deterministic (seeded) while
+still exercising ordering effects in the simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+
+__all__ = ["LatencyModel", "ConstantLatency", "UniformLatency", "PerHopLatency"]
+
+
+class LatencyModel:
+    """Base class: returns a delay (in simulated time units) per message."""
+
+    def delay(self, source: str, destination: str) -> float:
+        """Return the latency of one message from ``source`` to ``destination``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every link has the same fixed latency."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise SimulationError("latency must be non-negative")
+
+    def delay(self, source: str, destination: str) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` with a seeded generator."""
+
+    def __init__(self, low: float, high: float, *, seed: int = 0) -> None:
+        if low < 0 or high < low:
+            raise SimulationError("need 0 <= low <= high for uniform latency")
+        self._low = low
+        self._high = high
+        self._rng = random.Random(seed)
+
+    def delay(self, source: str, destination: str) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+
+class PerHopLatency(LatencyModel):
+    """Explicit per-link latencies with a default for unlisted links."""
+
+    def __init__(self, latencies: dict[tuple[str, str], float], *, default: float = 1.0) -> None:
+        if default < 0 or any(v < 0 for v in latencies.values()):
+            raise SimulationError("latencies must be non-negative")
+        self._latencies = dict(latencies)
+        self._default = default
+
+    def delay(self, source: str, destination: str) -> float:
+        if (source, destination) in self._latencies:
+            return self._latencies[(source, destination)]
+        if (destination, source) in self._latencies:
+            return self._latencies[(destination, source)]
+        return self._default

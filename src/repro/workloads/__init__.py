@@ -1,0 +1,40 @@
+"""Workload specifications, generators and application scenarios."""
+
+from repro.workloads.generators import (
+    Workload,
+    build_workload,
+    generate_events,
+    generate_profiles,
+)
+from repro.workloads.scenarios import (
+    environmental_monitoring_spec,
+    facility_management_spec,
+    single_attribute_spec,
+    stock_ticker_spec,
+)
+from repro.workloads.spec import AttributeSpec, WorkloadSpec
+from repro.workloads.toy import (
+    environmental_profiles,
+    environmental_schema,
+    example2_temperature_distribution,
+    example3_event_distributions,
+    example_event,
+)
+
+__all__ = [
+    "AttributeSpec",
+    "Workload",
+    "WorkloadSpec",
+    "build_workload",
+    "environmental_monitoring_spec",
+    "environmental_profiles",
+    "environmental_schema",
+    "example2_temperature_distribution",
+    "example3_event_distributions",
+    "example_event",
+    "facility_management_spec",
+    "generate_events",
+    "generate_profiles",
+    "single_attribute_spec",
+    "stock_ticker_spec",
+]

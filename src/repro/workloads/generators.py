@@ -1,0 +1,148 @@
+"""Profile and event generators.
+
+Turns a :class:`~repro.workloads.spec.WorkloadSpec` into concrete profiles,
+events and per-attribute distributions.  All randomness is driven by a
+single seeded ``random.Random`` derived from the spec's seed, so generated
+workloads are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.domains import ContinuousDomain, DiscreteDomain, Domain, IntegerDomain
+from repro.core.errors import WorkloadError
+from repro.core.events import Event
+from repro.core.predicates import DONT_CARE, Equals, Predicate, RangePredicate
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Schema
+from repro.distributions.base import Distribution
+from repro.distributions.joint import IndependentJointDistribution
+from repro.distributions.library import make_distribution
+from repro.workloads.spec import AttributeSpec, WorkloadSpec
+
+__all__ = ["Workload", "generate_profiles", "generate_events", "build_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully materialised workload."""
+
+    spec: WorkloadSpec
+    profiles: ProfileSet
+    events: tuple[Event, ...]
+    event_distributions: Mapping[str, Distribution]
+    profile_distributions: Mapping[str, Distribution]
+
+    @property
+    def schema(self) -> Schema:
+        return self.spec.schema
+
+    def joint_event_distribution(self) -> IndependentJointDistribution:
+        """Return the independent joint distribution of the event values."""
+        return IndependentJointDistribution(self.schema, dict(self.event_distributions))
+
+
+def _profile_predicate(
+    spec: AttributeSpec, domain: Domain, value: object, rng: random.Random
+) -> Predicate:
+    """Turn a drawn profile value into a predicate according to the spec."""
+    if spec.predicate == "equality":
+        return Equals(value)
+    # Range predicate centred on the drawn value.
+    full = domain.full_interval()
+    if isinstance(domain, DiscreteDomain):
+        raise WorkloadError("range predicates require an ordered domain")
+    width = spec.range_width_fraction * (full.high - full.low)
+    centre = float(value)  # type: ignore[arg-type]
+    low = max(full.low, centre - width / 2)
+    high = min(full.high, centre + width / 2)
+    if isinstance(domain, IntegerDomain):
+        low, high = int(round(low)), int(round(high))
+        if low > high:
+            low = high
+    if low >= high:
+        return Equals(value)
+    return RangePredicate.between(low, high)
+
+
+def generate_profiles(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    profile_distributions: Mapping[str, Distribution],
+) -> ProfileSet:
+    """Generate ``spec.profile_count`` profiles from the profile distributions.
+
+    Every profile constrains each attribute independently with probability
+    ``1 - dont_care_probability``; a profile that would constrain nothing is
+    re-drawn (a fully unconstrained profile matches every event and is not a
+    meaningful subscription).
+    """
+    profiles = ProfileSet(spec.schema)
+    for index in range(spec.profile_count):
+        predicates: dict[str, Predicate] = {}
+        for attempt in range(100):
+            predicates = {}
+            for attribute in spec.schema:
+                attribute_spec = spec.spec_for(attribute.name)
+                if rng.random() < attribute_spec.dont_care_probability:
+                    continue
+                distribution = profile_distributions[attribute.name]
+                value = distribution.sample(rng)
+                predicates[attribute.name] = _profile_predicate(
+                    attribute_spec, attribute.domain, value, rng
+                )
+            if predicates:
+                break
+        if not predicates:
+            raise WorkloadError(
+                "could not generate a constrained profile; lower the "
+                "dont_care_probability values"
+            )
+        profiles.add(
+            Profile(
+                profile_id=f"{spec.name}-P{index + 1}",
+                predicates=predicates,
+                subscriber=f"user-{index % max(1, spec.profile_count // 10) + 1}",
+            )
+        )
+    return profiles
+
+
+def generate_events(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    event_distributions: Mapping[str, Distribution],
+    *,
+    count: int | None = None,
+) -> tuple[Event, ...]:
+    """Generate events by sampling every attribute independently."""
+    joint = IndependentJointDistribution(spec.schema, dict(event_distributions))
+    total = count if count is not None else spec.event_count
+    return tuple(joint.sample_events(total, rng))
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Materialise a workload: distributions, profiles and events."""
+    rng = random.Random(spec.seed)
+    event_distributions: dict[str, Distribution] = {}
+    profile_distributions: dict[str, Distribution] = {}
+    for attribute in spec.schema:
+        attribute_spec = spec.spec_for(attribute.name)
+        event_distributions[attribute.name] = make_distribution(
+            attribute_spec.event_distribution, attribute.domain
+        )
+        profile_distributions[attribute.name] = make_distribution(
+            attribute_spec.profile_distribution, attribute.domain
+        )
+    profiles = generate_profiles(spec, rng, profile_distributions)
+    events = generate_events(spec, rng, event_distributions)
+    return Workload(
+        spec=spec,
+        profiles=profiles,
+        events=events,
+        event_distributions=event_distributions,
+        profile_distributions=profile_distributions,
+    )

@@ -1,0 +1,186 @@
+"""Application scenarios from the paper's introduction.
+
+The introduction motivates the work with "stock tickers, environmental
+monitoring, and facility management" and observes that their event and
+profile distributions are far from uniform: stock subscribers concentrate on
+"a small range of values for certain shares", environmental sensors produce
+roughly uniform readings while users subscribe to catastrophe thresholds,
+and facility management mixes periodic uniform telemetry with alarm-focused
+subscriptions.  These scenarios back the example programs and the baseline
+benchmarks; the figure experiments use purpose-built specs instead.
+"""
+
+from __future__ import annotations
+
+from repro.core.domains import ContinuousDomain, DiscreteDomain, IntegerDomain
+from repro.core.schema import Attribute, Schema
+from repro.workloads.spec import AttributeSpec, WorkloadSpec
+
+__all__ = [
+    "stock_ticker_spec",
+    "environmental_monitoring_spec",
+    "facility_management_spec",
+    "single_attribute_spec",
+]
+
+
+def stock_ticker_spec(
+    *, profile_count: int = 500, event_count: int = 2000, seed: int = 11
+) -> WorkloadSpec:
+    """Return the stock-ticker scenario.
+
+    Events carry a symbol, a price level (discretised to integer ticks) and
+    a traded volume bucket.  Prices cluster around the current level (Gauss)
+    while subscriptions concentrate on a narrow band of interesting prices
+    ("users are mainly interested in a small range of values for certain
+    shares"), making the event and profile distributions strongly peaked.
+    """
+    schema = Schema(
+        [
+            Attribute(
+                "symbol",
+                DiscreteDomain([f"S{i:02d}" for i in range(40)]),
+                description="ticker symbol",
+            ),
+            Attribute("price", IntegerDomain(0, 199), unit="ticks"),
+            Attribute("volume", IntegerDomain(0, 49), unit="lots"),
+        ]
+    )
+    attributes = {
+        "symbol": AttributeSpec(
+            event_distribution="falling", profile_distribution="falling"
+        ),
+        "price": AttributeSpec(
+            event_distribution="gauss", profile_distribution="95% high"
+        ),
+        "volume": AttributeSpec(
+            event_distribution="falling",
+            profile_distribution="equal",
+            dont_care_probability=0.6,
+        ),
+    }
+    return WorkloadSpec(
+        name="stock-ticker",
+        schema=schema,
+        attributes=attributes,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )
+
+
+def environmental_monitoring_spec(
+    *, profile_count: int = 300, event_count: int = 2000, seed: int = 13
+) -> WorkloadSpec:
+    """Return the environmental-monitoring scenario (catastrophe warnings).
+
+    Sensor readings are roughly uniform over the physical domains; user
+    profiles concentrate on the extreme ("catastrophe") ranges, so most
+    events fall into the zero-subdomain and should be rejected early — the
+    situation Measures A1/A2 are designed for.
+    """
+    schema = Schema(
+        [
+            Attribute("temperature", IntegerDomain(-30, 50), unit="°C"),
+            Attribute("humidity", IntegerDomain(0, 100), unit="%"),
+            Attribute("radiation", IntegerDomain(1, 100), unit="mW/m²"),
+        ]
+    )
+    attributes = {
+        "temperature": AttributeSpec(
+            event_distribution="gauss", profile_distribution="95% high"
+        ),
+        "humidity": AttributeSpec(
+            event_distribution="equal",
+            profile_distribution="95% high",
+            dont_care_probability=0.3,
+        ),
+        "radiation": AttributeSpec(
+            event_distribution="relocated gauss low",
+            profile_distribution="95% high",
+            dont_care_probability=0.5,
+        ),
+    }
+    return WorkloadSpec(
+        name="environmental",
+        schema=schema,
+        attributes=attributes,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )
+
+
+def facility_management_spec(
+    *, profile_count: int = 200, event_count: int = 1500, seed: int = 17
+) -> WorkloadSpec:
+    """Return the facility-management scenario.
+
+    Buildings report room, sensor kind and reading; subscriptions mix broad
+    monitoring profiles (many don't-cares) with narrow alarm profiles.
+    """
+    schema = Schema(
+        [
+            Attribute("building", IntegerDomain(1, 8)),
+            Attribute("room", IntegerDomain(1, 60)),
+            Attribute("sensor", DiscreteDomain(["smoke", "door", "power", "water", "hvac"])),
+            Attribute("reading", IntegerDomain(0, 99)),
+        ]
+    )
+    attributes = {
+        "building": AttributeSpec(
+            event_distribution="equal", profile_distribution="equal",
+            dont_care_probability=0.2,
+        ),
+        "room": AttributeSpec(
+            event_distribution="equal", profile_distribution="equal",
+            dont_care_probability=0.6,
+        ),
+        "sensor": AttributeSpec(
+            event_distribution="falling", profile_distribution="falling",
+            dont_care_probability=0.3,
+        ),
+        "reading": AttributeSpec(
+            event_distribution="gauss", profile_distribution="95% high",
+            dont_care_probability=0.4,
+        ),
+    }
+    return WorkloadSpec(
+        name="facility",
+        schema=schema,
+        attributes=attributes,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )
+
+
+def single_attribute_spec(
+    *,
+    events: str = "equal",
+    profiles: str = "equal",
+    domain_size: int = 100,
+    profile_count: int = 60,
+    event_count: int = 4000,
+    seed: int = 5,
+    name: str = "single-attribute",
+) -> WorkloadSpec:
+    """Return the single-attribute workload used by scenarios TV3/TV4.
+
+    One integer attribute with equality profiles whose values are drawn from
+    the ``profiles`` distribution; events are drawn from the ``events``
+    distribution.  This mirrors the paper's "full profile tree with one
+    attribute only" tests that isolate the effect of value reordering.
+    """
+    schema = Schema([Attribute("value", IntegerDomain(0, domain_size - 1))])
+    attributes = {
+        "value": AttributeSpec(event_distribution=events, profile_distribution=profiles)
+    }
+    return WorkloadSpec(
+        name=name,
+        schema=schema,
+        attributes=attributes,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )

@@ -1,0 +1,121 @@
+"""Workload specifications.
+
+A workload couples a schema with per-attribute event and profile
+distributions plus the parameters of profile generation (how many profiles,
+how often an attribute is left as don't-care, equality vs range predicates).
+The evaluation scenarios of the paper — and our reproduction of its figures
+— are all expressed as :class:`WorkloadSpec` instances, so a figure caption
+such as "events: defined 39, profiles: gauss" maps one-to-one onto a spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.schema import Schema
+
+__all__ = ["AttributeSpec", "WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Generation parameters of one attribute.
+
+    Attributes
+    ----------
+    event_distribution:
+        Name of the event value distribution ``P_e`` (see
+        :func:`repro.distributions.make_distribution`), e.g. ``"equal"``,
+        ``"gauss"``, ``"defined 39"`` or ``"95% high"``.
+    profile_distribution:
+        Name of the distribution profile values are drawn from (``P_p``).
+    dont_care_probability:
+        Probability that a generated profile leaves the attribute
+        unconstrained (the ``*`` of the paper).
+    predicate:
+        ``"equality"`` (the paper's prototype) or ``"range"`` — range
+        predicates cover ``range_width_fraction`` of the domain centred on
+        the drawn value.
+    range_width_fraction:
+        Width of generated range predicates relative to the domain size.
+    """
+
+    event_distribution: str = "equal"
+    profile_distribution: str = "equal"
+    dont_care_probability: float = 0.0
+    predicate: str = "equality"
+    range_width_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dont_care_probability <= 1.0:
+            raise WorkloadError("dont_care_probability must lie in [0, 1]")
+        if self.predicate not in {"equality", "range"}:
+            raise WorkloadError("predicate must be 'equality' or 'range'")
+        if not 0.0 < self.range_width_fraction <= 1.0:
+            raise WorkloadError("range_width_fraction must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete, reproducible workload description."""
+
+    name: str
+    schema: Schema
+    attributes: Mapping[str, AttributeSpec]
+    profile_count: int = 100
+    event_count: int = 1000
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.profile_count <= 0:
+            raise WorkloadError("profile_count must be positive")
+        if self.event_count <= 0:
+            raise WorkloadError("event_count must be positive")
+        unknown = [name for name in self.attributes if name not in self.schema]
+        if unknown:
+            raise WorkloadError(f"attribute specs reference unknown attributes {unknown}")
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def spec_for(self, attribute: str) -> AttributeSpec:
+        """Return the spec of one attribute (defaults when unspecified)."""
+        if attribute not in self.schema:
+            raise WorkloadError(f"unknown attribute {attribute!r}")
+        return self.attributes.get(attribute, AttributeSpec())
+
+    def with_distributions(
+        self,
+        *,
+        events: str | None = None,
+        profiles: str | None = None,
+    ) -> "WorkloadSpec":
+        """Return a copy with all attributes' distribution names replaced.
+
+        This is how the figure harness sweeps over ``P_e``/``P_p``
+        combinations: the schema and generation parameters stay fixed while
+        the distribution names vary.
+        """
+        updated = {}
+        for name in self.schema.names:
+            spec = self.spec_for(name)
+            updated[name] = replace(
+                spec,
+                event_distribution=events if events is not None else spec.event_distribution,
+                profile_distribution=profiles if profiles is not None else spec.profile_distribution,
+            )
+        return replace(self, attributes=updated)
+
+    def with_counts(
+        self, *, profile_count: int | None = None, event_count: int | None = None
+    ) -> "WorkloadSpec":
+        """Return a copy with different profile/event counts."""
+        return replace(
+            self,
+            profile_count=profile_count if profile_count is not None else self.profile_count,
+            event_count=event_count if event_count is not None else self.event_count,
+        )
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        """Return a copy using a different random seed."""
+        return replace(self, seed=seed)

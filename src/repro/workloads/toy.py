@@ -1,0 +1,162 @@
+"""The paper's running toy example (Examples 1-4).
+
+Example 1 defines an environmental monitoring service with three attributes
+(temperature, humidity, UV-A radiation) and five profiles P1-P5; Examples
+2-4 attach event probabilities to the resulting sub-ranges and study the
+effect of value and attribute reordering.  This module reconstructs that
+setup exactly so the analysis layer and the test suite can check the
+library's numbers against the paper's worked examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.domains import ContinuousDomain
+from repro.core.events import Event
+from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.predicates import RangePredicate
+from repro.core.schema import Attribute, Schema
+from repro.distributions.base import Distribution
+from repro.distributions.continuous import PiecewiseConstantDistribution
+
+__all__ = [
+    "TEMPERATURE",
+    "HUMIDITY",
+    "RADIATION",
+    "environmental_schema",
+    "environmental_profiles",
+    "example_event",
+    "example2_temperature_distribution",
+    "example3_event_distributions",
+]
+
+#: Attribute names used throughout the toy example.
+TEMPERATURE = "temperature"
+HUMIDITY = "humidity"
+RADIATION = "radiation"
+
+
+def environmental_schema() -> Schema:
+    """Return the schema of Example 1.
+
+    ``a1``: temperature in [-30, 50] °C, ``a2``: humidity in [0, 100] %,
+    ``a3``: UV-A radiation in [1, 100] mW/m².
+    """
+    return Schema(
+        [
+            Attribute(TEMPERATURE, ContinuousDomain(-30, 50), unit="°C"),
+            Attribute(HUMIDITY, ContinuousDomain(0, 100), unit="%"),
+            Attribute(RADIATION, ContinuousDomain(1, 100), unit="mW/m²"),
+        ]
+    )
+
+
+def environmental_profiles(schema: Schema | None = None) -> ProfileSet:
+    """Return the five profiles P1-P5 of Example 1.
+
+    * P1: temperature >= 35, humidity >= 90
+    * P2: temperature >= 30, humidity >= 90
+    * P3: temperature >= 30, humidity >= 90, radiation in [35, 50]
+    * P4: temperature in [-30, -20], humidity <= 5, radiation in [40, 100]
+    * P5: temperature >= 30, humidity >= 80
+    """
+    schema = schema or environmental_schema()
+    profiles = ProfileSet(schema)
+    profiles.add(
+        profile(
+            "P1",
+            temperature=RangePredicate.at_least(35),
+            humidity=RangePredicate.at_least(90),
+        )
+    )
+    profiles.add(
+        profile(
+            "P2",
+            temperature=RangePredicate.at_least(30),
+            humidity=RangePredicate.at_least(90),
+        )
+    )
+    profiles.add(
+        profile(
+            "P3",
+            temperature=RangePredicate.at_least(30),
+            humidity=RangePredicate.at_least(90),
+            radiation=RangePredicate.between(35, 50),
+        )
+    )
+    profiles.add(
+        profile(
+            "P4",
+            temperature=RangePredicate.between(-30, -20),
+            humidity=RangePredicate.at_most(5),
+            radiation=RangePredicate.between(40, 100),
+        )
+    )
+    profiles.add(
+        profile(
+            "P5",
+            temperature=RangePredicate.at_least(30),
+            humidity=RangePredicate.at_least(80),
+        )
+    )
+    return profiles
+
+
+def example_event() -> Event:
+    """Return the event of Eq. (1): temperature 30 °C, humidity 90 %,
+    radiation 2 mW/m² — matched by P2 and P5."""
+    return Event({TEMPERATURE: 30.0, HUMIDITY: 90.0, RADIATION: 2.0})
+
+
+def _piecewise(domain: ContinuousDomain, segments: list[tuple[float, float, float]]) -> Distribution:
+    """Build a piecewise-constant distribution from (low, high, mass) segments.
+
+    The segments must tile the domain; unit-width bins are used so every
+    integer segment boundary is respected exactly.
+    """
+    full = domain.full_interval()
+    bins = int(round(full.high - full.low))
+    weights = [0.0] * bins
+    for low, high, mass in segments:
+        first = int(round(low - full.low))
+        last = int(round(high - full.low))
+        width = max(1, last - first)
+        for i in range(first, last):
+            weights[i] += mass / width
+    return PiecewiseConstantDistribution(domain, weights)
+
+
+def example2_temperature_distribution() -> Distribution:
+    """Return ``P_e`` for the temperature attribute as given in Example 2.
+
+    ``P_e([-30, -20]) = 2 %``, ``P_e([30, 35]) = 1 %``,
+    ``P_e((35, 50]) = 80 %`` and ``P_e(x_0) = P_e([-20, 30]) = 17 %``.
+    """
+    domain = ContinuousDomain(-30, 50)
+    return _piecewise(
+        domain,
+        [(-30, -20, 0.02), (-20, 30, 0.17), (30, 35, 0.01), (35, 50, 0.80)],
+    )
+
+
+def example3_event_distributions() -> dict[str, Distribution]:
+    """Return the per-attribute event distributions assumed in Example 3.
+
+    ``P_e(X_1)`` is the temperature distribution of Example 2;
+    ``P_e(X_2) = ([0, 30]: 5 %, [30, 80]: 60 %, [80, 90]: 25 %, [90, 100]: 10 %)``;
+    ``P_e(X_3) = ([0, 35]: 90 %, [35, 40]: 5 %, [40, 50]: 2 %, [50, 100]: 3 %)``.
+    """
+    humidity_domain = ContinuousDomain(0, 100)
+    radiation_domain = ContinuousDomain(1, 100)
+    humidity = _piecewise(
+        humidity_domain,
+        [(0, 30, 0.05), (30, 80, 0.60), (80, 90, 0.25), (90, 100, 0.10)],
+    )
+    radiation = _piecewise(
+        radiation_domain,
+        [(1, 35, 0.90), (35, 40, 0.05), (40, 50, 0.02), (50, 100, 0.03)],
+    )
+    return {
+        TEMPERATURE: example2_temperature_distribution(),
+        HUMIDITY: humidity,
+        RADIATION: radiation,
+    }

@@ -1,0 +1,146 @@
+"""Tests for the analytical cost model (Eq. 2 and the full-tree walk)."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import MatchingError
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.core.subranges import build_partition
+from repro.analysis.cost_model import (
+    attribute_response_time,
+    expected_tree_cost,
+    node_gap_probabilities,
+)
+from repro.distributions.discrete import (
+    DiscreteDistribution,
+    peaked_discrete,
+    uniform_discrete,
+)
+from repro.matching.tree.builder import build_tree
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+
+
+def single_attribute_profiles(values=(2, 5, 8), domain_size=10):
+    schema = Schema([Attribute("v", IntegerDomain(0, domain_size - 1))])
+    return ProfileSet(schema, [profile(f"P{v}", v=v) for v in values])
+
+
+class TestAttributeResponseTime:
+    def test_uniform_events_natural_order(self):
+        profiles = single_attribute_profiles()
+        partition = build_partition(profiles, "v")
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        cost = attribute_response_time(partition, dist)
+        # E(X) = 0.1*1 + 0.1*2 + 0.1*3 = 0.6
+        assert cost.expectation == pytest.approx(0.6)
+        # Rejection: values {0,1}->1, {3,4}->2, {6,7}->3, {9}->3.
+        assert cost.rejection == pytest.approx(0.2 * 1 + 0.2 * 2 + 0.2 * 3 + 0.1 * 3)
+        assert cost.total == cost.expectation + cost.rejection
+
+    def test_value_order_changes_expectation_not_rejection(self):
+        profiles = single_attribute_profiles()
+        partition = build_partition(profiles, "v")
+        dist = DiscreteDistribution(IntegerDomain(0, 9), {2: 1, 5: 1, 8: 8})
+        natural = attribute_response_time(partition, dist)
+        reordered = attribute_response_time(
+            partition, dist, ValueOrder.from_ranking("v", [2, 0, 1])
+        )
+        assert reordered.expectation < natural.expectation
+        assert reordered.rejection == pytest.approx(natural.rejection)
+
+    def test_binary_strategy_uses_bisection_depths(self):
+        profiles = single_attribute_profiles()
+        partition = build_partition(profiles, "v")
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        cost = attribute_response_time(partition, dist, strategy=SearchStrategy.BINARY)
+        # Depths for 3 elements are (2, 1, 2); each referenced value has mass 0.1.
+        assert cost.expectation == pytest.approx(0.1 * 2 + 0.1 * 1 + 0.1 * 2)
+        # All rejected values cost floor(log2(3)) + 1 = 2.
+        assert cost.rejection == pytest.approx(0.7 * 2)
+
+    def test_wrong_value_order_length_rejected(self):
+        profiles = single_attribute_profiles()
+        partition = build_partition(profiles, "v")
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        with pytest.raises(MatchingError):
+            attribute_response_time(partition, dist, ValueOrder.natural("v", 5))
+
+
+class TestGapProbabilities:
+    def test_gaps_cover_the_zero_subdomain(self):
+        profiles = single_attribute_profiles()
+        tree = build_tree(profiles)
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        gaps = node_gap_probabilities(tree.root, tree.partitions["v"], dist)
+        assert len(gaps) == 4
+        assert sum(gaps) == pytest.approx(0.7)
+        assert gaps == pytest.approx([0.2, 0.2, 0.2, 0.1])
+
+
+class TestExpectedTreeCost:
+    def test_agrees_with_attribute_response_time_for_one_attribute(self):
+        profiles = single_attribute_profiles()
+        partition = build_partition(profiles, "v")
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        tree = build_tree(profiles)
+        tree_cost = expected_tree_cost(tree, {"v": dist})
+        single = attribute_response_time(partition, dist)
+        assert tree_cost.operations_per_event == pytest.approx(single.total)
+
+    def test_match_probability_and_notifications(self):
+        profiles = single_attribute_profiles()
+        tree = build_tree(profiles)
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        cost = expected_tree_cost(tree, {"v": dist})
+        assert cost.match_probability == pytest.approx(0.3)
+        assert cost.expected_notifications == pytest.approx(0.3)
+        assert cost.operations_per_event_and_profile == pytest.approx(
+            cost.operations_per_event / 0.3
+        )
+
+    def test_per_profile_costs_reflect_probe_positions(self):
+        profiles = single_attribute_profiles()
+        tree = build_tree(profiles)
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        cost = expected_tree_cost(tree, {"v": dist})
+        assert cost.per_profile["P2"] == pytest.approx(1.0)
+        assert cost.per_profile["P5"] == pytest.approx(2.0)
+        assert cost.per_profile["P8"] == pytest.approx(3.0)
+        assert cost.operations_per_profile == pytest.approx(2.0)
+
+    def test_peaked_distribution_lowers_cost_after_reordering(self):
+        profiles = single_attribute_profiles(values=(2, 5, 8))
+        # Events concentrate on value 8, the last sub-range in natural order.
+        dist = DiscreteDistribution(
+            IntegerDomain(0, 9), {**{v: 1 for v in range(10)}, 8: 40}
+        )
+        natural_tree = build_tree(profiles)
+        reordered_tree = build_tree(
+            profiles,
+            TreeConfiguration(
+                ("v",), {"v": ValueOrder.from_ranking("v", [2, 1, 0])}, SearchStrategy.LINEAR
+            ),
+        )
+        natural_cost = expected_tree_cost(natural_tree, {"v": dist})
+        reordered_cost = expected_tree_cost(reordered_tree, {"v": dist})
+        assert reordered_cost.operations_per_event < natural_cost.operations_per_event
+
+    def test_missing_distribution_rejected(self):
+        profiles = single_attribute_profiles()
+        tree = build_tree(profiles)
+        with pytest.raises(MatchingError):
+            expected_tree_cost(tree, {})
+
+    def test_per_level_costs_sum_to_total(self):
+        schema = Schema(
+            [Attribute("a", IntegerDomain(0, 9)), Attribute("b", IntegerDomain(0, 9))]
+        )
+        profiles = ProfileSet(
+            schema, [profile("P1", a=1, b=2), profile("P2", a=3), profile("P3", b=7)]
+        )
+        tree = build_tree(profiles)
+        dists = {"a": uniform_discrete(IntegerDomain(0, 9)), "b": uniform_discrete(IntegerDomain(0, 9))}
+        cost = expected_tree_cost(tree, dists)
+        assert sum(cost.per_level) == pytest.approx(cost.operations_per_event)
+        assert len(cost.per_level) == 2

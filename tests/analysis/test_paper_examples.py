@@ -1,0 +1,117 @@
+"""Reproduction checks for the paper's worked Examples 2-4.
+
+Example 2 is reproduced exactly (same numbers as the paper); Examples 3-4
+are checked for their ordering conclusions because the paper's hand
+computation leaves the cost of don't-care edges unspecified (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.paper_examples import (
+    PAPER_EXAMPLE2,
+    PAPER_EXAMPLE3,
+    example2_results,
+    example3_results,
+    example4_results,
+)
+
+
+class TestExample2:
+    """Single-attribute value reordering (exact reproduction)."""
+
+    def test_event_order_expectation(self):
+        result = example2_results()
+        assert result.event_order.expectation == pytest.approx(
+            PAPER_EXAMPLE2["event_order_expectation"], abs=1e-6
+        )
+
+    def test_event_order_response_time(self):
+        result = example2_results()
+        assert result.event_order.total == pytest.approx(
+            PAPER_EXAMPLE2["event_order_response"], abs=1e-6
+        )
+
+    def test_binary_search_expectation_and_response(self):
+        result = example2_results()
+        assert result.binary.expectation == pytest.approx(
+            PAPER_EXAMPLE2["binary_expectation"], abs=1e-6
+        )
+        assert result.binary.total == pytest.approx(
+            PAPER_EXAMPLE2["binary_response"], abs=1e-6
+        )
+
+    def test_natural_order_expectation(self):
+        result = example2_results()
+        assert result.natural.expectation == pytest.approx(
+            PAPER_EXAMPLE2["natural_expectation"], abs=1e-6
+        )
+
+    def test_event_order_beats_binary_search_here(self):
+        # E(X) = 0.87 < log2(2p - 1) ≈ 1.58, so the event order must win.
+        result = example2_results()
+        assert result.event_order.total < result.binary.total
+        assert result.event_order.total < result.natural.total
+
+
+class TestExample3:
+    """Attribute reordering by Measures A1/A2."""
+
+    def test_a1_selectivities_match_paper(self):
+        result = example3_results()
+        for name, expected in PAPER_EXAMPLE3["selectivity_a1"].items():
+            assert result.selectivity_a1[name] == pytest.approx(expected, abs=1e-6)
+
+    def test_reordering_puts_humidity_first(self):
+        result = example3_results()
+        assert result.reordered_order[0] == "humidity"
+        assert result.reordered_order[-1] == "radiation"
+
+    def test_a2_ordering_agrees_with_a1_ordering(self):
+        result = example3_results()
+        a2_sorted = sorted(result.selectivity_a2, key=result.selectivity_a2.get, reverse=True)
+        a1_sorted = sorted(result.selectivity_a1, key=result.selectivity_a1.get, reverse=True)
+        assert a2_sorted == a1_sorted
+
+    def test_reordering_reduces_expected_operations(self):
+        result = example3_results()
+        assert (
+            result.reordered_cost.operations_per_event
+            < result.natural_cost.operations_per_event
+        )
+
+    def test_per_level_costs_decrease_towards_the_leaves_after_reordering(self):
+        result = example3_results()
+        levels = result.reordered_cost.per_level
+        assert levels[0] > levels[-1]
+
+
+class TestExample4:
+    """Combined value (V1) + attribute (A2) reordering."""
+
+    def test_combined_reordering_is_best(self):
+        result = example4_results()
+        assert (
+            result.combined_cost.operations_per_event
+            < result.binary_cost.operations_per_event
+        )
+        assert (
+            result.combined_cost.operations_per_event
+            < result.natural_cost.operations_per_event
+        )
+
+    def test_binary_search_still_beats_the_unordered_tree(self):
+        result = example4_results()
+        assert (
+            result.binary_cost.operations_per_event
+            < result.natural_cost.operations_per_event
+        )
+
+    def test_match_probability_is_invariant_under_reordering(self):
+        result = example4_results()
+        assert result.combined_cost.match_probability == pytest.approx(
+            result.natural_cost.match_probability, abs=1e-9
+        )
+        assert result.combined_cost.expected_notifications == pytest.approx(
+            result.natural_cost.expected_notifications, abs=1e-9
+        )

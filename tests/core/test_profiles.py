@@ -1,0 +1,132 @@
+"""Tests for profiles and profile sets."""
+
+import pytest
+
+from repro.core.domains import ContinuousDomain, IntegerDomain
+from repro.core.errors import ProfileError
+from repro.core.events import Event
+from repro.core.predicates import DONT_CARE, Equals, RangePredicate
+from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.workloads.toy import environmental_profiles, environmental_schema, example_event
+
+
+def simple_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("price", IntegerDomain(0, 100)),
+            Attribute("volume", IntegerDomain(0, 10)),
+        ]
+    )
+
+
+class TestProfile:
+    def test_profile_helper_turns_values_into_equality(self):
+        built = profile("P1", price=42, volume=None)
+        assert isinstance(built.predicate("price"), Equals)
+        assert built.predicate("volume").is_dont_care
+
+    def test_matches_requires_all_constraints(self):
+        built = profile("P1", price=42, volume=RangePredicate.at_least(5))
+        assert built.matches(Event({"price": 42, "volume": 7}))
+        assert not built.matches(Event({"price": 42, "volume": 1}))
+        assert not built.matches(Event({"price": 41, "volume": 7}))
+
+    def test_missing_event_attribute_fails_constrained_profile(self):
+        built = profile("P1", price=42)
+        assert not built.matches(Event({"volume": 3}))
+
+    def test_unconstrained_attribute_is_ignored(self):
+        built = profile("P1", price=42)
+        assert built.matches(Event({"price": 42, "volume": 9}))
+
+    def test_constrained_attributes(self):
+        built = profile("P1", price=42, volume=None)
+        assert built.constrained_attributes() == ["price"]
+        assert built.constrains("price")
+        assert not built.constrains("volume")
+        assert not built.constrains("unknown")
+
+    def test_validation_against_schema(self):
+        built = profile("P1", price=42)
+        built.validate(simple_schema())
+        with pytest.raises(ProfileError):
+            profile("P2", unknown=1).validate(simple_schema())
+        with pytest.raises(ProfileError):
+            profile("P3", price=1000).validate(simple_schema())
+
+    def test_empty_profile_id_rejected(self):
+        with pytest.raises(ProfileError):
+            Profile("", {"price": Equals(1)})
+
+    def test_non_predicate_rejected(self):
+        with pytest.raises(ProfileError):
+            Profile("P1", {"price": 42})  # type: ignore[dict-item]
+
+
+class TestProfileSet:
+    def test_add_and_lookup(self):
+        profiles = ProfileSet(simple_schema())
+        profiles.add(profile("P1", price=10))
+        assert "P1" in profiles
+        assert profiles.get("P1").profile_id == "P1"
+        assert profiles.ids() == ["P1"]
+        assert len(profiles) == 1
+
+    def test_duplicate_id_rejected(self):
+        profiles = ProfileSet(simple_schema())
+        profiles.add(profile("P1", price=10))
+        with pytest.raises(ProfileError):
+            profiles.add(profile("P1", price=20))
+
+    def test_remove(self):
+        profiles = ProfileSet(simple_schema(), [profile("P1", price=10)])
+        removed = profiles.remove("P1")
+        assert removed.profile_id == "P1"
+        assert len(profiles) == 0
+        with pytest.raises(ProfileError):
+            profiles.remove("P1")
+
+    def test_invalid_profile_rejected_on_add(self):
+        profiles = ProfileSet(simple_schema())
+        with pytest.raises(ProfileError):
+            profiles.add(profile("P1", unknown=10))
+
+    def test_matching_oracle(self):
+        profiles = ProfileSet(
+            simple_schema(),
+            [profile("P1", price=10), profile("P2", price=10, volume=5), profile("P3", price=99)],
+        )
+        matched = profiles.matching(Event({"price": 10, "volume": 5}))
+        assert [p.profile_id for p in matched] == ["P1", "P2"]
+
+    def test_constrained_by_attribute(self):
+        profiles = ProfileSet(
+            simple_schema(), [profile("P1", price=10), profile("P2", volume=5)]
+        )
+        assert [p.profile_id for p in profiles.constrained_by_attribute("price")] == ["P1"]
+
+
+class TestPaperExample1:
+    """The toy example of Section 3 (Example 1 and the event of Eq. (1))."""
+
+    def test_event_matches_p2_and_p5(self):
+        profiles = environmental_profiles()
+        matched = profiles.matching(example_event())
+        assert sorted(p.profile_id for p in matched) == ["P2", "P5"]
+
+    def test_all_profiles_validate(self):
+        schema = environmental_schema()
+        for item in environmental_profiles(schema):
+            item.validate(schema)
+
+    def test_profile_p4_matches_cold_wet_free_high_radiation(self):
+        profiles = environmental_profiles()
+        event = Event({"temperature": -25, "humidity": 3, "radiation": 60})
+        matched = sorted(p.profile_id for p in profiles.matching(event))
+        assert matched == ["P4"]
+
+    def test_hot_dry_event_matches_nothing(self):
+        profiles = environmental_profiles()
+        event = Event({"temperature": 40, "humidity": 50, "radiation": 10})
+        assert profiles.matching(event) == []

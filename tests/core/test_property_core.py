@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import IntegerDomain
+from repro.core.intervals import Interval, decompose_intervals
+from repro.core.predicates import Equals, RangePredicate
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Attribute, Schema
+from repro.core.subranges import build_partition
+
+
+@st.composite
+def intervals(draw):
+    low = draw(st.integers(min_value=-50, max_value=50))
+    width = draw(st.integers(min_value=0, max_value=40))
+    high = low + width
+    if width == 0:
+        low_closed = high_closed = True
+    else:
+        low_closed = draw(st.booleans())
+        high_closed = draw(st.booleans())
+    return Interval(low, high, low_closed, high_closed)
+
+
+class TestIntervalDecompositionProperties:
+    @given(st.lists(intervals(), min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_pieces_are_disjoint_and_cover_the_union(self, items):
+        pieces = decompose_intervals(items)
+        # The decomposition never exceeds the 2p - 1 bound of the paper.
+        assert len(pieces) <= 2 * len(items) - 1
+        probes = set()
+        for iv in items:
+            probes.update([iv.low, iv.high, iv.midpoint()])
+            probes.update([iv.low - 0.25, iv.high + 0.25, iv.low + 0.25, iv.high - 0.25])
+        for probe in probes:
+            in_union = any(probe in iv for iv in items)
+            covering = [p for p in pieces if probe in p]
+            # Disjoint: at most one piece contains any probe point.
+            assert len(covering) <= 1
+            # Coverage: the union of pieces equals the union of inputs.
+            assert bool(covering) == in_union
+
+    @given(st.lists(intervals(), min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_each_input_is_a_union_of_pieces(self, items):
+        pieces = decompose_intervals(items)
+        for iv in items:
+            for piece in pieces:
+                if iv.contains(piece.midpoint()):
+                    assert iv.contains_interval(piece)
+
+
+@st.composite
+def equality_profile_sets(draw):
+    """Random equality-profile sets over a small integer domain."""
+    domain_size = draw(st.integers(min_value=3, max_value=30))
+    schema = Schema([Attribute("value", IntegerDomain(0, domain_size - 1))])
+    count = draw(st.integers(min_value=1, max_value=20))
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=domain_size - 1),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    profiles = ProfileSet(
+        schema,
+        [Profile(f"P{i}", {"value": Equals(v)}) for i, v in enumerate(values)],
+    )
+    return profiles, values, domain_size
+
+
+class TestPartitionProperties:
+    @given(equality_profile_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_partition_covers_exactly_the_referenced_values(self, data):
+        profiles, values, domain_size = data
+        partition = build_partition(profiles, "value")
+        referenced = sorted(set(values))
+        assert [s.value for s in partition.subranges] == referenced
+        assert partition.zero_size == domain_size - len(referenced)
+        # Every domain value is located consistently.
+        for v in range(domain_size):
+            located = partition.locate(v)
+            assert (located is not None) == (v in set(values))
+
+    @given(equality_profile_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_natural_rank_is_monotone(self, data):
+        profiles, _values, domain_size = data
+        partition = build_partition(profiles, "value")
+        ranks = [partition.natural_rank(v) for v in range(domain_size)]
+        assert ranks == sorted(ranks)
+        assert all(0 <= r <= len(partition.subranges) for r in ranks)

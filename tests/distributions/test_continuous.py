@@ -1,0 +1,114 @@
+"""Tests for continuous (piecewise-constant) distributions."""
+
+import random
+
+import pytest
+
+from repro.core.domains import ContinuousDomain, IntegerDomain
+from repro.core.errors import DistributionError
+from repro.core.intervals import Interval
+from repro.distributions.continuous import (
+    PiecewiseConstantDistribution,
+    falling_continuous,
+    gaussian_continuous,
+    peaked_continuous,
+    relocated_gaussian_continuous,
+    rising_continuous,
+    uniform_continuous,
+)
+
+
+class TestPiecewiseConstantDistribution:
+    def test_total_mass_is_one(self):
+        dist = PiecewiseConstantDistribution(ContinuousDomain(0, 10), [1, 2, 3, 4])
+        dist.validate()
+
+    def test_probability_of_interval(self):
+        dist = PiecewiseConstantDistribution(ContinuousDomain(0, 10), [1, 1])
+        assert dist.probability_of_interval(Interval.closed(0, 5)) == pytest.approx(0.5)
+        assert dist.probability_of_interval(Interval.closed(2.5, 7.5)) == pytest.approx(0.5)
+        assert dist.probability_of_interval(Interval.closed(-5, 0)) == pytest.approx(0.0)
+        assert dist.probability_of_interval(Interval.closed(20, 30)) == 0.0
+
+    def test_point_values_have_zero_mass(self):
+        dist = uniform_continuous(ContinuousDomain(0, 10))
+        assert dist.probability_of_value(5) == 0.0
+
+    def test_density_at(self):
+        dist = PiecewiseConstantDistribution(ContinuousDomain(0, 10), [1, 3])
+        assert dist.density_at(2) == pytest.approx(0.25 / 5)
+        assert dist.density_at(7) == pytest.approx(0.75 / 5)
+        assert dist.density_at(-1) == 0.0
+
+    def test_bin_edges_and_masses(self):
+        dist = PiecewiseConstantDistribution(ContinuousDomain(0, 10), [1, 1])
+        assert dist.bin_edges() == [0, 5, 10]
+        assert dist.bin_masses() == [0.5, 0.5]
+
+    def test_mean(self):
+        dist = PiecewiseConstantDistribution(ContinuousDomain(0, 10), [1, 1])
+        assert dist.mean() == pytest.approx(5)
+
+    def test_sampling_stays_inside_domain_and_follows_mass(self):
+        dist = PiecewiseConstantDistribution(ContinuousDomain(0, 10), [9, 1])
+        rng = random.Random(3)
+        samples = [dist.sample(rng) for _ in range(4000)]
+        assert all(0 <= s <= 10 for s in samples)
+        left = sum(1 for s in samples if s < 5) / len(samples)
+        assert left == pytest.approx(0.9, abs=0.03)
+
+    def test_invalid_construction(self):
+        domain = ContinuousDomain(0, 10)
+        with pytest.raises(DistributionError):
+            PiecewiseConstantDistribution(domain, [])
+        with pytest.raises(DistributionError):
+            PiecewiseConstantDistribution(domain, [-1, 2])
+        with pytest.raises(DistributionError):
+            PiecewiseConstantDistribution(domain, [0, 0])
+        with pytest.raises(DistributionError):
+            PiecewiseConstantDistribution(IntegerDomain(0, 10), [1])  # type: ignore[arg-type]
+
+
+class TestContinuousFamilies:
+    DOMAIN = ContinuousDomain(0, 100)
+
+    def test_uniform(self):
+        dist = uniform_continuous(self.DOMAIN)
+        assert dist.probability_of_interval(Interval.closed(0, 50)) == pytest.approx(0.5)
+
+    def test_gaussian_mass_concentrated_near_mean(self):
+        dist = gaussian_continuous(self.DOMAIN)
+        centre = dist.probability_of_interval(Interval.closed(35, 65))
+        edge = dist.probability_of_interval(Interval.closed(0, 30))
+        assert centre > edge
+
+    def test_relocated_gaussian(self):
+        low = relocated_gaussian_continuous(self.DOMAIN, location="low")
+        assert low.probability_of_interval(Interval.closed(0, 30)) > 0.5
+        with pytest.raises(DistributionError):
+            relocated_gaussian_continuous(self.DOMAIN, location="middle")
+
+    def test_falling_and_rising(self):
+        falling = falling_continuous(self.DOMAIN)
+        rising = rising_continuous(self.DOMAIN)
+        assert falling.probability_of_interval(Interval.closed(0, 50)) > 0.5
+        assert rising.probability_of_interval(Interval.closed(50, 100)) > 0.5
+
+    def test_peaked(self):
+        dist = peaked_continuous(
+            self.DOMAIN, peak_fraction=0.1, peak_mass=0.95, location="high"
+        )
+        assert dist.probability_of_interval(Interval.closed(90, 100)) == pytest.approx(
+            0.95, abs=0.01
+        )
+
+    def test_all_families_integrate_to_one(self):
+        for dist in [
+            uniform_continuous(self.DOMAIN),
+            gaussian_continuous(self.DOMAIN),
+            relocated_gaussian_continuous(self.DOMAIN, location="high"),
+            falling_continuous(self.DOMAIN),
+            rising_continuous(self.DOMAIN),
+            peaked_continuous(self.DOMAIN, peak_fraction=0.2, peak_mass=0.8),
+        ]:
+            dist.validate()

@@ -1,0 +1,146 @@
+"""Tests for discrete distributions."""
+
+import random
+
+import pytest
+
+from repro.core.domains import DiscreteDomain, IntegerDomain
+from repro.core.errors import DistributionError
+from repro.core.intervals import Interval
+from repro.distributions.discrete import (
+    DiscreteDistribution,
+    falling_discrete,
+    gaussian_discrete,
+    peaked_discrete,
+    relocated_gaussian_discrete,
+    rising_discrete,
+    uniform_discrete,
+)
+
+
+class TestDiscreteDistribution:
+    def test_weights_are_normalised(self):
+        domain = IntegerDomain(0, 3)
+        dist = DiscreteDistribution(domain, {0: 1, 1: 1, 2: 2})
+        assert dist.probability_of_value(2) == pytest.approx(0.5)
+        assert dist.probability_of_value(3) == 0.0
+        dist.validate()
+
+    def test_probability_of_interval_on_integer_domain(self):
+        domain = IntegerDomain(0, 9)
+        dist = uniform_discrete(domain)
+        assert dist.probability_of_interval(Interval.closed(0, 4)) == pytest.approx(0.5)
+        assert dist.probability_of_interval(Interval.open(0, 4)) == pytest.approx(0.3)
+
+    def test_probability_of_interval_on_discrete_domain_uses_indexes(self):
+        domain = DiscreteDomain(["a", "b", "c", "d"])
+        dist = DiscreteDistribution(domain, {"a": 1, "d": 3})
+        assert dist.probability_of_interval(Interval.closed(0, 0)) == pytest.approx(0.25)
+        assert dist.probability_of_interval(Interval.closed(1, 3)) == pytest.approx(0.75)
+
+    def test_sampling_is_deterministic_and_respects_support(self):
+        domain = IntegerDomain(0, 9)
+        dist = DiscreteDistribution(domain, {1: 5, 7: 5})
+        rng = random.Random(42)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert set(samples) <= {1, 7}
+        rng2 = random.Random(42)
+        assert samples == [dist.sample(rng2) for _ in range(200)]
+
+    def test_sampling_frequency_tracks_probability(self):
+        domain = IntegerDomain(0, 1)
+        dist = DiscreteDistribution(domain, {0: 9, 1: 1})
+        rng = random.Random(1)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert samples.count(0) / len(samples) == pytest.approx(0.9, abs=0.03)
+
+    def test_mean(self):
+        dist = DiscreteDistribution(IntegerDomain(0, 10), {0: 1, 10: 1})
+        assert dist.mean() == pytest.approx(5)
+
+    def test_mean_undefined_on_unordered_domain(self):
+        dist = DiscreteDistribution(DiscreteDomain(["a", "b"]), {"a": 1, "b": 1})
+        with pytest.raises(DistributionError):
+            dist.mean()
+
+    def test_invalid_weights(self):
+        domain = IntegerDomain(0, 3)
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(domain, {})
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(domain, {0: -1})
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(domain, {99: 1})
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(domain, {0: 0})
+
+    def test_reweighted(self):
+        domain = IntegerDomain(0, 2)
+        dist = uniform_discrete(domain)
+        changed = dist.reweighted({0: 8})
+        assert changed.probability_of_value(0) > dist.probability_of_value(0)
+        changed.validate()
+
+
+class TestNamedFamilies:
+    def test_uniform_is_flat(self):
+        dist = uniform_discrete(IntegerDomain(0, 9))
+        assert dist.probability_of_value(0) == pytest.approx(0.1)
+        assert dist.probability_of_value(9) == pytest.approx(0.1)
+
+    def test_peaked_distribution_mass_location(self):
+        domain = IntegerDomain(0, 99)
+        high = peaked_discrete(domain, peak_fraction=0.1, peak_mass=0.95, location="high")
+        low = peaked_discrete(domain, peak_fraction=0.1, peak_mass=0.95, location="low")
+        assert high.probability_of_interval(Interval.closed(90, 99)) == pytest.approx(0.95)
+        assert low.probability_of_interval(Interval.closed(0, 9)) == pytest.approx(0.95)
+
+    def test_peaked_center(self):
+        domain = IntegerDomain(0, 99)
+        centre = peaked_discrete(domain, peak_fraction=0.1, peak_mass=0.9, location="center")
+        assert centre.probability_of_interval(Interval.closed(40, 60)) >= 0.9
+
+    def test_peaked_validation(self):
+        domain = IntegerDomain(0, 9)
+        with pytest.raises(DistributionError):
+            peaked_discrete(domain, peak_fraction=0, peak_mass=0.9)
+        with pytest.raises(DistributionError):
+            peaked_discrete(domain, peak_fraction=0.5, peak_mass=2)
+        with pytest.raises(DistributionError):
+            peaked_discrete(domain, peak_fraction=0.5, peak_mass=0.9, location="middle")
+
+    def test_falling_and_rising_are_monotone(self):
+        domain = IntegerDomain(0, 9)
+        falling = falling_discrete(domain)
+        rising = rising_discrete(domain)
+        falling_probs = [falling.probability_of_value(v) for v in range(10)]
+        rising_probs = [rising.probability_of_value(v) for v in range(10)]
+        assert falling_probs == sorted(falling_probs, reverse=True)
+        assert rising_probs == sorted(rising_probs)
+
+    def test_gaussian_peaks_in_the_middle(self):
+        domain = IntegerDomain(0, 99)
+        dist = gaussian_discrete(domain)
+        assert dist.probability_of_value(50) > dist.probability_of_value(0)
+        assert dist.probability_of_value(50) > dist.probability_of_value(99)
+
+    def test_relocated_gaussian_shifts_the_peak(self):
+        domain = IntegerDomain(0, 99)
+        low = relocated_gaussian_discrete(domain, location="low")
+        high = relocated_gaussian_discrete(domain, location="high")
+        assert low.probability_of_value(8) > low.probability_of_value(92)
+        assert high.probability_of_value(92) > high.probability_of_value(8)
+        with pytest.raises(DistributionError):
+            relocated_gaussian_discrete(domain, location="middle")
+
+    def test_all_families_sum_to_one(self):
+        domain = IntegerDomain(0, 49)
+        for dist in [
+            uniform_discrete(domain),
+            falling_discrete(domain),
+            rising_discrete(domain),
+            gaussian_discrete(domain),
+            relocated_gaussian_discrete(domain, location="high"),
+            peaked_discrete(domain, peak_fraction=0.2, peak_mass=0.9),
+        ]:
+            dist.validate()

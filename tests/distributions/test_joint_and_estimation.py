@@ -1,0 +1,231 @@
+"""Tests for joint distributions, frequency counters and history estimation."""
+
+import random
+
+import pytest
+
+from repro.core.domains import ContinuousDomain, IntegerDomain
+from repro.core.errors import DistributionError
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.core.subranges import build_partition
+from repro.distributions.discrete import DiscreteDistribution, uniform_discrete
+from repro.distributions.estimation import (
+    EventHistory,
+    FrequencyCounter,
+    estimate_event_distribution,
+    estimate_profile_distribution,
+)
+from repro.distributions.joint import (
+    ConditionalJointDistribution,
+    IndependentJointDistribution,
+)
+
+
+def two_attribute_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("price", IntegerDomain(0, 9)),
+            Attribute("volume", IntegerDomain(0, 4)),
+        ]
+    )
+
+
+class TestIndependentJoint:
+    def test_sample_event_covers_all_attributes(self):
+        schema = two_attribute_schema()
+        joint = IndependentJointDistribution(
+            schema,
+            {
+                "price": uniform_discrete(IntegerDomain(0, 9)),
+                "volume": uniform_discrete(IntegerDomain(0, 4)),
+            },
+        )
+        event = joint.sample_event(random.Random(1))
+        event.validate(schema)
+
+    def test_missing_marginal_rejected(self):
+        schema = two_attribute_schema()
+        with pytest.raises(DistributionError):
+            IndependentJointDistribution(
+                schema, {"price": uniform_discrete(IntegerDomain(0, 9))}
+            )
+
+    def test_unknown_marginal_rejected(self):
+        schema = two_attribute_schema()
+        with pytest.raises(DistributionError):
+            IndependentJointDistribution(
+                schema,
+                {
+                    "price": uniform_discrete(IntegerDomain(0, 9)),
+                    "volume": uniform_discrete(IntegerDomain(0, 4)),
+                    "extra": uniform_discrete(IntegerDomain(0, 4)),
+                },
+            )
+
+    def test_conditional_equals_marginal(self):
+        schema = two_attribute_schema()
+        marginals = {
+            "price": uniform_discrete(IntegerDomain(0, 9)),
+            "volume": uniform_discrete(IntegerDomain(0, 4)),
+        }
+        joint = IndependentJointDistribution(schema, marginals)
+        assert joint.conditional("volume", {"price": 3}) is marginals["volume"]
+
+    def test_sample_events_have_increasing_timestamps(self):
+        schema = two_attribute_schema()
+        joint = IndependentJointDistribution(
+            schema,
+            {
+                "price": uniform_discrete(IntegerDomain(0, 9)),
+                "volume": uniform_discrete(IntegerDomain(0, 4)),
+            },
+        )
+        events = joint.sample_events(5, random.Random(0), start_time=10, interval=2)
+        assert [e.timestamp for e in events] == [10, 12, 14, 16, 18]
+
+
+class TestConditionalJoint:
+    def test_conditional_distribution_depends_on_prefix(self):
+        schema = two_attribute_schema()
+        marginals = {
+            "price": uniform_discrete(IntegerDomain(0, 9)),
+            "volume": uniform_discrete(IntegerDomain(0, 4)),
+        }
+
+        def volume_given(previous):
+            if previous["price"] >= 5:
+                return DiscreteDistribution(IntegerDomain(0, 4), {4: 1})
+            return DiscreteDistribution(IntegerDomain(0, 4), {0: 1})
+
+        joint = ConditionalJointDistribution(schema, marginals, {"volume": volume_given})
+        rng = random.Random(2)
+        for _ in range(50):
+            event = joint.sample_event(rng)
+            if event["price"] >= 5:
+                assert event["volume"] == 4
+            else:
+                assert event["volume"] == 0
+
+    def test_unknown_conditional_attribute_rejected(self):
+        schema = two_attribute_schema()
+        marginals = {
+            "price": uniform_discrete(IntegerDomain(0, 9)),
+            "volume": uniform_discrete(IntegerDomain(0, 4)),
+        }
+        with pytest.raises(DistributionError):
+            ConditionalJointDistribution(schema, marginals, {"extra": lambda prev: None})
+
+
+class TestFrequencyCounter:
+    def test_record_and_frequency(self):
+        counter = FrequencyCounter(IntegerDomain(0, 9))
+        counter.record(3)
+        counter.record(3)
+        counter.record(7)
+        assert counter.total == 3
+        assert counter.frequency(3) == pytest.approx(2 / 3)
+        assert counter.frequency(9) == 0.0
+
+    def test_set_count_simulates_a_distribution(self):
+        # Section 4.2: "we manipulate the counters in order to simulate a
+        # distribution".
+        counter = FrequencyCounter(IntegerDomain(0, 9))
+        counter.set_count(0, 80)
+        counter.set_count(1, 20)
+        dist = counter.to_distribution()
+        assert dist.probability_of_value(0) == pytest.approx(0.8)
+        counter.set_count(0, 0)
+        assert counter.total == 20
+
+    def test_forget(self):
+        counter = FrequencyCounter(IntegerDomain(0, 9))
+        counter.record(5, weight=3)
+        counter.forget(5)
+        assert counter.total == 2
+        counter.forget(5, weight=10)
+        assert counter.total == 0
+
+    def test_out_of_domain_rejected(self):
+        counter = FrequencyCounter(IntegerDomain(0, 9))
+        with pytest.raises(DistributionError):
+            counter.record(99)
+        with pytest.raises(DistributionError):
+            counter.set_count(99, 1)
+
+    def test_empty_counter_has_no_distribution(self):
+        with pytest.raises(DistributionError):
+            FrequencyCounter(IntegerDomain(0, 9)).to_distribution()
+
+    def test_continuous_counter_builds_histogram(self):
+        counter = FrequencyCounter(ContinuousDomain(0, 10))
+        for value in [1.0, 1.5, 2.0, 9.0]:
+            counter.record(value)
+        dist = counter.to_distribution(bins=10)
+        assert dist.probability_of_interval(
+            __import__("repro.core.intervals", fromlist=["Interval"]).Interval.closed(0, 3)
+        ) == pytest.approx(0.75)
+
+
+class TestEventHistory:
+    def make_history(self, max_length=100):
+        return EventHistory(two_attribute_schema(), max_length=max_length)
+
+    def test_observe_and_estimate(self):
+        history = self.make_history()
+        for _ in range(10):
+            history.observe(Event({"price": 3, "volume": 1}))
+        for _ in range(10):
+            history.observe(Event({"price": 7, "volume": 1}))
+        schema = two_attribute_schema()
+        profiles = ProfileSet(schema, [profile("P1", price=3), profile("P2", price=8)])
+        partition = build_partition(profiles, "price")
+        estimated = estimate_event_distribution(history, partition)
+        assert estimated.probability_by_index(0) == pytest.approx(0.5)  # value 3
+        assert estimated.probability_by_index(1) == pytest.approx(0.0)  # value 8
+        assert estimated.zero_probability == pytest.approx(0.5)
+
+    def test_sliding_window_evicts_old_events(self):
+        history = self.make_history(max_length=5)
+        for i in range(10):
+            history.observe(Event({"price": i % 10, "volume": 0}))
+        assert len(history) == 5
+        assert history.counter("price").total == 5
+
+    def test_estimate_requires_observations(self):
+        history = self.make_history()
+        schema = two_attribute_schema()
+        profiles = ProfileSet(schema, [profile("P1", price=3)])
+        partition = build_partition(profiles, "price")
+        with pytest.raises(DistributionError):
+            estimate_event_distribution(history, partition)
+
+    def test_clear(self):
+        history = self.make_history()
+        history.observe(Event({"price": 1, "volume": 1}))
+        history.clear()
+        assert len(history) == 0
+        assert history.counter("price").total == 0
+
+
+class TestProfileDistributionEstimation:
+    def test_counts_profile_references_per_subrange(self):
+        schema = two_attribute_schema()
+        profiles = ProfileSet(
+            schema,
+            [profile("P1", price=3), profile("P2", price=3), profile("P3", price=8)],
+        )
+        partition = build_partition(profiles, "price")
+        estimated = estimate_profile_distribution(profiles, partition)
+        assert estimated.probability_by_index(0) == pytest.approx(2 / 3)  # value 3
+        assert estimated.probability_by_index(1) == pytest.approx(1 / 3)  # value 8
+        assert estimated.zero_probability == 0.0
+
+    def test_unconstrained_attribute_gets_zero_mass_everywhere(self):
+        schema = two_attribute_schema()
+        profiles = ProfileSet(schema, [profile("P1", price=3)])
+        partition = build_partition(profiles, "volume")
+        estimated = estimate_profile_distribution(profiles, partition)
+        assert estimated.total_defined_probability() == 0.0
+        assert estimated.zero_probability == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Tests for the named distribution library and sub-range projection."""
+
+import pytest
+
+from repro.core.domains import ContinuousDomain, IntegerDomain
+from repro.core.errors import DistributionError
+from repro.core.predicates import Equals
+from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.core.subranges import build_partition
+from repro.distributions.base import SubrangeDistribution, project_onto_partition
+from repro.distributions.discrete import DiscreteDistribution, uniform_discrete
+from repro.distributions.library import (
+    available_named_distributions,
+    defined_distribution,
+    make_distribution,
+)
+from repro.workloads.toy import environmental_profiles, example2_temperature_distribution
+
+
+class TestNamedLibrary:
+    def test_named_distributions_build_on_both_domain_kinds(self):
+        for name in available_named_distributions():
+            make_distribution(name, IntegerDomain(0, 49)).validate()
+            make_distribution(name, ContinuousDomain(0, 50)).validate()
+
+    def test_defined_family_is_deterministic(self):
+        domain = IntegerDomain(0, 99)
+        first = defined_distribution(39, domain)
+        second = defined_distribution(39, domain)
+        for value in range(0, 100, 7):
+            assert first.probability_of_value(value) == second.probability_of_value(value)
+
+    def test_defined_family_members_differ(self):
+        domain = IntegerDomain(0, 99)
+        d1 = defined_distribution(1, domain)
+        d39 = defined_distribution(39, domain)
+        assert any(
+            abs(d1.probability_of_value(v) - d39.probability_of_value(v)) > 1e-6
+            for v in range(100)
+        )
+
+    def test_defined_names_parse(self):
+        domain = IntegerDomain(0, 49)
+        assert make_distribution("defined 5", domain).probability_of_value(0) >= 0
+        assert make_distribution("d5", domain).probability_of_value(0) >= 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DistributionError):
+            make_distribution("zipf", IntegerDomain(0, 9))
+        with pytest.raises(DistributionError):
+            defined_distribution(0, IntegerDomain(0, 9))
+
+    def test_peak_names(self):
+        domain = IntegerDomain(0, 99)
+        high = make_distribution("95% high", domain)
+        assert sum(high.probability_of_value(v) for v in range(90, 100)) == pytest.approx(0.95)
+
+
+class TestProjection:
+    def test_example2_projection_matches_paper_probabilities(self):
+        partition = build_partition(environmental_profiles(), "temperature")
+        projected = project_onto_partition(example2_temperature_distribution(), partition)
+        by_label = {
+            s.label(): projected.probability(s) for s in partition.subranges
+        }
+        assert by_label["[-30, -20]"] == pytest.approx(0.02, abs=1e-9)
+        assert by_label["[30, 35)"] == pytest.approx(0.01, abs=1e-9)
+        assert by_label["[35, 50]"] == pytest.approx(0.80, abs=1e-9)
+        assert projected.zero_probability == pytest.approx(0.17, abs=1e-9)
+
+    def test_projection_masses_sum_to_one(self):
+        schema = Schema([Attribute("v", IntegerDomain(0, 9))])
+        profiles = ProfileSet(schema, [profile("P1", v=2), profile("P2", v=7)])
+        partition = build_partition(profiles, "v")
+        projected = project_onto_partition(uniform_discrete(IntegerDomain(0, 9)), partition)
+        assert projected.total_defined_probability() == pytest.approx(0.2)
+        assert projected.zero_probability == pytest.approx(0.8)
+        total = projected.total_defined_probability() + projected.zero_probability
+        assert total == pytest.approx(1.0)
+
+    def test_subrange_distribution_validation(self):
+        partition = build_partition(environmental_profiles(), "temperature")
+        with pytest.raises(DistributionError):
+            SubrangeDistribution(partition, (0.1,), 0.0)  # wrong arity
+        with pytest.raises(DistributionError):
+            SubrangeDistribution(partition, (0.5, 0.6, 0.7), 0.5)  # mass > 1
+        with pytest.raises(DistributionError):
+            SubrangeDistribution(partition, (-0.1, 0.5, 0.5), 0.0)
+
+    def test_normalised(self):
+        partition = build_partition(environmental_profiles(), "temperature")
+        scaled = SubrangeDistribution(partition, (0.1, 0.1, 0.2), 0.0).normalised()
+        assert scaled.total_defined_probability() == pytest.approx(1.0)
+
+    def test_as_mapping_includes_zero_entry(self):
+        partition = build_partition(environmental_profiles(), "temperature")
+        projected = project_onto_partition(example2_temperature_distribution(), partition)
+        mapping = projected.as_mapping()
+        assert mapping[-1] == pytest.approx(0.17, abs=1e-9)
+        assert len(mapping) == len(partition.subranges) + 1

@@ -1,0 +1,145 @@
+"""Integration tests: the figure tables and TV scenarios reproduce the
+paper's qualitative findings."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures.fig3 import FIG3_DISTRIBUTIONS, distribution_profile, figure_3
+from repro.experiments.figures.fig4 import figure_4a, figure_4b
+from repro.experiments.figures.fig5 import figure_5a, figure_5b
+from repro.experiments.figures.fig6 import (
+    TA1_COVERAGE_FRACTIONS,
+    attribute_reordering_profiles,
+    figure_6a,
+    figure_6b,
+)
+from repro.experiments.scenarios import run_tv3, run_tv4
+
+# Smaller workloads than the benchmark defaults keep the test suite fast
+# while still exercising every figure end to end.
+SMALL = dict(profile_count=25, domain_size=60)
+
+
+class TestFig3:
+    def test_every_distribution_has_unit_mass(self):
+        table = figure_3(domain_size=50, buckets=5)
+        for row in table.rows:
+            assert sum(row.values.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_profiles_have_the_requested_resolution(self):
+        masses = distribution_profile("gauss", domain_size=50, buckets=5)
+        assert len(masses) == 5
+        assert masses[2] == max(masses)  # the Gauss peak sits in the middle
+
+    def test_all_referenced_distributions_are_defined(self):
+        assert "d39" in FIG3_DISTRIBUTIONS and "equal" in FIG3_DISTRIBUTIONS
+
+
+class TestFig4:
+    def test_fig4a_structure(self):
+        table = figure_4a(**SMALL)
+        assert len(table.rows) == 7
+        assert table.series == (
+            "natural order search",
+            "event order search",
+            "binary search",
+        )
+        for row in table.rows:
+            for value in row.values.values():
+                assert value > 0 and not math.isnan(value)
+
+    def test_fig4a_event_order_never_loses_to_natural_order(self):
+        """Measure V1 probes the most probable values first, so its expected
+        cost is never above the natural order's (they tie for flat
+        distributions)."""
+        table = figure_4a(**SMALL)
+        for row in table.rows:
+            assert (
+                row.values["event order search"]
+                <= row.values["natural order search"] + 1e-9
+            )
+
+    def test_fig4a_no_single_strategy_wins_everywhere(self):
+        """The paper: "there is no 'perfect' approach"."""
+        winners = set(figure_4a(**SMALL).winners().values())
+        assert len(winners) >= 2
+
+    def test_fig4b_structure(self):
+        table = figure_4b(**SMALL)
+        assert len(table.rows) == 8
+        assert len(table.series) == 4
+
+
+class TestFig5:
+    def test_profile_order_improves_the_per_profile_metric(self):
+        """Fig. 5(b): the profile-dependent reorderings (V2/V3) improve the
+        per-profile average over the natural-ordering-free binary search for
+        peaked profile distributions."""
+        per_event = figure_5a(**SMALL)
+        per_profile = figure_5b(**SMALL)
+        row = "equal / 95% high"
+        assert per_profile.value(row, "profile order search") <= per_profile.value(
+            row, "binary search"
+        )
+        # The per-event metric is allowed to get worse (that is the paper's
+        # trade-off) but must stay finite and positive.
+        assert per_event.value(row, "profile order search") > 0
+
+    def test_metrics_are_consistent(self):
+        per_event = figure_5a(**SMALL)
+        for row in per_event.rows:
+            for value in row.values.values():
+                assert value > 0
+
+
+class TestFig6:
+    def test_ta1_profiles_have_widely_differing_selectivities(self):
+        profiles = attribute_reordering_profiles(
+            TA1_COVERAGE_FRACTIONS, profile_count=60, domain_size=60
+        )
+        from repro.core.subranges import build_partitions
+
+        fractions = [p.zero_fraction for p in build_partitions(profiles).values()]
+        assert max(fractions) - min(fractions) > 0.3
+
+    def test_descending_order_is_never_worse_than_ascending(self):
+        table = figure_6a(profile_count=60, domain_size=60)
+        for distribution in ("equal", "gauss", "relocated gauss low"):
+            descending = table.value(f"{distribution} · desc.", "event desc order search")
+            ascending = table.value(f"{distribution} · asc.", "event desc order search")
+            assert descending <= ascending + 1e-9
+
+    def test_reordering_effect_is_larger_with_wide_selectivity_differences(self):
+        wide = figure_6a(profile_count=60, domain_size=60)
+        small = figure_6b(profile_count=60, domain_size=60)
+
+        def spread(table, distribution):
+            return table.value(f"{distribution} · asc.", "event desc order search") - table.value(
+                f"{distribution} · desc.", "event desc order search"
+            )
+
+        assert spread(wide, "equal") > spread(small, "relocated gauss low")
+
+    def test_relocated_gauss_makes_selectivity_order_beat_binary(self):
+        """When most events fall into zero-subdomains, early rejection makes
+        the descending linear search at least as good as binary search."""
+        table = figure_6a(profile_count=60, domain_size=60)
+        row = "relocated gauss low · desc."
+        assert table.value(row, "event desc order search") <= table.value(row, "binary search")
+
+
+class TestScenarios:
+    def test_tv3_and_tv4_agree(self):
+        tv3 = run_tv3(profile_count=30, event_count=3000)
+        tv4 = run_tv4(profile_count=30)
+        for name, simulated in tv3.operations_per_event().items():
+            analytic = tv4.operations_per_event()[name]
+            assert simulated == pytest.approx(analytic, rel=0.15)
+
+    def test_scenario_result_lookup(self):
+        result = run_tv4(profile_count=20)
+        assert result.scenario == "TV4"
+        assert result.by_strategy("binary search").operations_per_event > 0
+        with pytest.raises(Exception):
+            result.by_strategy("nope")

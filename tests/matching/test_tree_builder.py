@@ -1,0 +1,167 @@
+"""Tests for profile-tree construction."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import TreeConstructionError
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.matching.tree.builder import build_tree
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+from repro.matching.tree.nodes import TreeLeaf, TreeNode
+from repro.workloads.toy import environmental_profiles
+
+
+class TestToyTree:
+    """Structure of the Fig. 1 tree."""
+
+    def tree(self):
+        return build_tree(environmental_profiles())
+
+    def test_height_equals_attribute_count(self):
+        assert self.tree().height() == 3
+
+    def test_root_branches_on_temperature_subranges(self):
+        root = self.tree().root
+        assert isinstance(root, TreeNode)
+        assert root.attribute == "temperature"
+        labels = sorted(edge.label() for edge in root.edges)
+        assert labels == ["[-30, -20]", "[30, 35)", "[35, 50]"]
+        # Every profile constrains the temperature, so there is no * edge.
+        assert not root.has_residual
+
+    def test_dont_care_profiles_are_replicated(self):
+        """P5 (radiation = *) must appear under both radiation branches."""
+        tree = self.tree()
+        root = tree.root
+        # Follow [30, 35) -> [90, 100] like the event of Eq. (1).
+        temp_edge = next(e for e in root.edges if e.label() == "[30, 35)")
+        humidity_node = temp_edge.child
+        assert isinstance(humidity_node, TreeNode)
+        humidity_edge = next(e for e in humidity_node.edges if e.label() == "[90, 100]")
+        radiation_node = humidity_edge.child
+        assert isinstance(radiation_node, TreeNode)
+        assert radiation_node.has_residual
+        defined_leaf = radiation_node.edges[0].child
+        residual_leaf = radiation_node.residual
+        assert isinstance(defined_leaf, TreeLeaf)
+        assert isinstance(residual_leaf, TreeLeaf)
+        assert set(defined_leaf.profile_ids) == {"P2", "P3", "P5"}
+        assert set(residual_leaf.profile_ids) == {"P2", "P5"}
+
+    def test_leaf_under_p4_branch(self):
+        tree = self.tree()
+        temp_edge = next(e for e in tree.root.edges if e.label() == "[-30, -20]")
+        humidity_node = temp_edge.child
+        assert isinstance(humidity_node, TreeNode)
+        assert [e.label() for e in humidity_node.edges] == ["[0, 5]"]
+        radiation_node = humidity_node.edges[0].child
+        assert isinstance(radiation_node, TreeNode)
+        leaf = radiation_node.edges[0].child
+        assert isinstance(leaf, TreeLeaf)
+        assert leaf.profile_ids == ("P4",)
+
+    def test_node_and_leaf_counts_are_consistent(self):
+        tree = self.tree()
+        assert tree.leaf_count() >= 5
+        assert tree.node_count() > tree.leaf_count()
+
+    def test_describe_renders_the_structure(self):
+        text = build_tree(environmental_profiles()).describe()
+        assert "temperature" in text
+        assert "[30, 35)" in text
+        assert "P4" in text
+
+
+class TestConfigurationHandling:
+    def small_profiles(self) -> ProfileSet:
+        schema = Schema(
+            [Attribute("a", IntegerDomain(0, 9)), Attribute("b", IntegerDomain(0, 9))]
+        )
+        return ProfileSet(
+            schema,
+            [profile("P1", a=1, b=2), profile("P2", a=3), profile("P3", b=5)],
+        )
+
+    def test_attribute_reordering_changes_root_attribute(self):
+        profiles = self.small_profiles()
+        natural = build_tree(profiles)
+        reordered = build_tree(
+            profiles, TreeConfiguration(("b", "a"), {}, SearchStrategy.LINEAR, "b first")
+        )
+        assert natural.root.attribute == "a"
+        assert reordered.root.attribute == "b"
+        assert reordered.height() == 2
+
+    def test_residual_edge_exists_when_some_profiles_dont_care(self):
+        tree = build_tree(self.small_profiles())
+        root = tree.root
+        assert root.has_residual  # P3 does not constrain attribute "a"
+
+    def test_value_order_changes_probe_positions_only(self):
+        profiles = self.small_profiles()
+        natural = build_tree(profiles)
+        order = ValueOrder.from_ranking("a", [1, 0])  # probe value 3 first
+        reordered = build_tree(
+            profiles,
+            TreeConfiguration(("a", "b"), {"a": order}, SearchStrategy.LINEAR, "v"),
+        )
+        natural_positions = {e.label(): e.probe_position for e in natural.root.edges}
+        reordered_positions = {e.label(): e.probe_position for e in reordered.root.edges}
+        assert natural_positions == {"1": 1, "3": 2}
+        assert reordered_positions == {"1": 2, "3": 1}
+        # Natural positions are unchanged by the probe order.
+        assert {e.label(): e.natural_position for e in reordered.root.natural_edges} == {
+            "1": 1,
+            "3": 2,
+        }
+
+    def test_unknown_attribute_in_configuration_rejected(self):
+        profiles = self.small_profiles()
+        with pytest.raises(TreeConstructionError):
+            build_tree(profiles, TreeConfiguration(("a", "z"), {}, SearchStrategy.LINEAR))
+        with pytest.raises(TreeConstructionError):
+            build_tree(profiles, TreeConfiguration(("a",), {}, SearchStrategy.LINEAR))
+
+    def test_wrong_value_order_length_rejected(self):
+        profiles = self.small_profiles()
+        bad_order = ValueOrder.from_ranking("a", [0, 1, 2])
+        with pytest.raises(TreeConstructionError):
+            build_tree(
+                profiles,
+                TreeConfiguration(("a", "b"), {"a": bad_order}, SearchStrategy.LINEAR),
+            )
+
+    def test_empty_profile_set_builds_a_leaf(self):
+        schema = Schema([Attribute("a", IntegerDomain(0, 9))])
+        tree = build_tree(ProfileSet(schema))
+        assert isinstance(tree.root, TreeLeaf)
+        assert tree.profile_count == 0
+
+
+class TestValueOrder:
+    def test_natural_order(self):
+        order = ValueOrder.natural("a", 3)
+        assert order.positions == (1, 2, 3)
+        assert order.ranked_indices() == [0, 1, 2]
+
+    def test_from_ranking_roundtrip(self):
+        order = ValueOrder.from_ranking("a", [2, 0, 1])
+        assert order.position_of(2) == 1
+        assert order.position_of(0) == 2
+        assert order.ranked_indices() == [2, 0, 1]
+
+    def test_invalid_rankings_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            ValueOrder.from_ranking("a", [0, 0])
+        with pytest.raises(TreeConstructionError):
+            ValueOrder.from_ranking("a", [0, 5])
+        with pytest.raises(TreeConstructionError):
+            ValueOrder("a", (1, 3))
+
+    def test_configuration_rejects_mismatched_value_order_attribute(self):
+        order = ValueOrder.natural("b", 2)
+        with pytest.raises(TreeConstructionError):
+            TreeConfiguration(("a",), {"a": order}, SearchStrategy.LINEAR)
+        with pytest.raises(TreeConstructionError):
+            TreeConfiguration(("a",), {"b": order}, SearchStrategy.LINEAR)

@@ -1,0 +1,138 @@
+"""Tests for node search cost accounting (linear early termination, binary)."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import MatchingError
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.matching.tree.builder import build_tree
+from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+from repro.matching.tree.search import (
+    absence_cost_for_gap,
+    absence_max_cost,
+    binary_search_depth,
+    binary_search_max_depth,
+    find_cost,
+    gap_index_for_rank,
+    search_node,
+)
+
+
+def single_attribute_node(values=(10, 20, 30), order=None, search=SearchStrategy.LINEAR):
+    """Build a one-level tree over equality profiles on the given values."""
+    schema = Schema([Attribute("v", IntegerDomain(0, 99))])
+    profiles = ProfileSet(schema, [profile(f"P{v}", v=v) for v in values])
+    configuration = TreeConfiguration(("v",), order or {}, search)
+    tree = build_tree(profiles, configuration)
+    return tree.root
+
+
+class TestBinarySearchCosts:
+    def test_depths_match_paper_example2(self):
+        # For three elements the middle one costs 1, the outer ones cost 2.
+        assert binary_search_depth(1, 3) == 1
+        assert binary_search_depth(0, 3) == 2
+        assert binary_search_depth(2, 3) == 2
+
+    def test_depth_bounds(self):
+        for count in [1, 2, 5, 8, 16, 100]:
+            depths = [binary_search_depth(i, count) for i in range(count)]
+            assert max(depths) == binary_search_max_depth(count)
+            assert min(depths) == 1
+
+    def test_max_depth_formula(self):
+        assert binary_search_max_depth(0) == 0
+        assert binary_search_max_depth(1) == 1
+        assert binary_search_max_depth(3) == 2
+        assert binary_search_max_depth(4) == 3
+        assert binary_search_max_depth(100) == 7
+
+    def test_invalid_position(self):
+        with pytest.raises(MatchingError):
+            binary_search_depth(3, 3)
+
+
+class TestLinearCosts:
+    def test_find_cost_uses_probe_position(self):
+        node = single_attribute_node()
+        costs = {e.label(): find_cost(node, e, SearchStrategy.LINEAR) for e in node.edges}
+        assert costs == {"10": 1, "20": 2, "30": 3}
+
+    def test_find_cost_with_custom_order(self):
+        order = {"v": ValueOrder.from_ranking("v", [2, 0, 1])}
+        node = single_attribute_node(order=order)
+        costs = {e.label(): find_cost(node, e, SearchStrategy.LINEAR) for e in node.edges}
+        assert costs == {"30": 1, "10": 2, "20": 3}
+
+    def test_absence_cost_early_termination(self):
+        node = single_attribute_node()
+        assert absence_cost_for_gap(node, 0, SearchStrategy.LINEAR) == 1
+        assert absence_cost_for_gap(node, 1, SearchStrategy.LINEAR) == 2
+        assert absence_cost_for_gap(node, 2, SearchStrategy.LINEAR) == 3
+        # A value beyond the last edge still requires scanning all edges.
+        assert absence_cost_for_gap(node, 3, SearchStrategy.LINEAR) == 3
+        assert absence_max_cost(node, SearchStrategy.LINEAR) == 3
+
+    def test_absence_cost_binary_is_gap_independent(self):
+        node = single_attribute_node()
+        for gap in range(4):
+            assert absence_cost_for_gap(node, gap, SearchStrategy.BINARY) == 2
+
+    def test_invalid_gap_rejected(self):
+        node = single_attribute_node()
+        with pytest.raises(MatchingError):
+            absence_cost_for_gap(node, 9, SearchStrategy.LINEAR)
+
+    def test_gap_index_for_rank(self):
+        node = single_attribute_node()
+        assert gap_index_for_rank(node, 0) == 0
+        assert gap_index_for_rank(node, 1) == 1
+        assert gap_index_for_rank(node, 3) == 3
+
+
+class TestSearchNode:
+    def test_successful_match_returns_edge_and_cost(self):
+        node = single_attribute_node()
+        outcome = search_node(node, 1, 1, SearchStrategy.LINEAR)
+        assert outcome.edge is not None
+        assert outcome.edge.label() == "20"
+        assert outcome.operations == 2
+        assert not outcome.took_residual
+
+    def test_binary_match_cost(self):
+        node = single_attribute_node(search=SearchStrategy.BINARY)
+        outcome = search_node(node, 1, 1, SearchStrategy.BINARY)
+        assert outcome.operations == 1  # middle of three
+
+    def test_miss_without_residual_rejects(self):
+        node = single_attribute_node()
+        outcome = search_node(node, None, 1, SearchStrategy.LINEAR)
+        assert outcome.edge is None
+        assert not outcome.took_residual
+        assert outcome.operations == 2  # early termination after the 2nd edge
+
+    def test_miss_with_residual_takes_star_edge(self):
+        schema = Schema(
+            [Attribute("a", IntegerDomain(0, 9)), Attribute("b", IntegerDomain(0, 9))]
+        )
+        profiles = ProfileSet(schema, [profile("P1", a=1), profile("P2", b=5)])
+        tree = build_tree(profiles)
+        root = tree.root
+        assert root.has_residual
+        outcome = search_node(root, None, 1, SearchStrategy.LINEAR)
+        assert outcome.took_residual
+        # One probe to reject the single defined edge plus one for the * edge.
+        assert outcome.operations == 2
+
+    def test_star_only_node_costs_one(self):
+        schema = Schema(
+            [Attribute("a", IntegerDomain(0, 9)), Attribute("b", IntegerDomain(0, 9))]
+        )
+        profiles = ProfileSet(schema, [profile("P2", b=5)])
+        tree = build_tree(profiles)
+        root = tree.root
+        assert root.is_star_only
+        outcome = search_node(root, None, 0, SearchStrategy.LINEAR)
+        assert outcome.took_residual
+        assert outcome.operations == 1

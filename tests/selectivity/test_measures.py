@@ -1,0 +1,197 @@
+"""Tests for the value (V1-V3) and attribute (A1-A3) selectivity measures."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import SelectivityError
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.core.subranges import build_partition, build_partitions
+from repro.distributions.base import project_onto_partition
+from repro.distributions.discrete import peaked_discrete, uniform_discrete
+from repro.distributions.estimation import estimate_profile_distribution
+from repro.selectivity.attribute_measures import (
+    AttributeMeasure,
+    a3_order,
+    attribute_order_from_measure,
+    attribute_selectivities,
+)
+from repro.selectivity.value_measures import (
+    ValueMeasure,
+    value_order_from_measure,
+    value_selectivities,
+)
+from repro.workloads.toy import environmental_profiles, example3_event_distributions
+
+
+def single_attribute_setup():
+    schema = Schema([Attribute("v", IntegerDomain(0, 9))])
+    profiles = ProfileSet(
+        schema,
+        [
+            profile("P1", v=2),
+            profile("P2", v=2),
+            profile("P3", v=2),
+            profile("P4", v=7),
+            profile("P5", v=5),
+        ],
+    )
+    partition = build_partition(profiles, "v")
+    event = project_onto_partition(
+        peaked_discrete(IntegerDomain(0, 9), peak_fraction=0.1, peak_mass=0.9, location="high"),
+        partition,
+    )
+    profile_dist = estimate_profile_distribution(profiles, partition)
+    return partition, event, profile_dist
+
+
+class TestValueMeasures:
+    def test_parse(self):
+        assert ValueMeasure.parse("V1") is ValueMeasure.V1_EVENT
+        assert ValueMeasure.parse("profile order") is ValueMeasure.V2_PROFILE
+        assert ValueMeasure.parse("natural") is ValueMeasure.NATURAL
+        with pytest.raises(SelectivityError):
+            ValueMeasure.parse("V9")
+
+    def test_v1_orders_by_event_probability(self):
+        partition, event, _ = single_attribute_setup()
+        order = value_order_from_measure(ValueMeasure.V1_EVENT, partition, event)
+        ranked_values = [partition.subranges[i].value for i in order.ranked_indices()]
+        # The peak sits on value 9 (not referenced), so among referenced
+        # values the order follows the residual uniform mass with natural
+        # tie-breaking.
+        assert set(ranked_values) == {2, 5, 7}
+
+    def test_v2_orders_by_profile_probability(self):
+        partition, _, profile_dist = single_attribute_setup()
+        order = value_order_from_measure(
+            ValueMeasure.V2_PROFILE, partition, profile_distribution=profile_dist
+        )
+        ranked_values = [partition.subranges[i].value for i in order.ranked_indices()]
+        assert ranked_values[0] == 2  # three of five profiles subscribe to 2
+
+    def test_v3_combines_both(self):
+        partition, event, profile_dist = single_attribute_setup()
+        scores = value_selectivities(ValueMeasure.V3_COMBINED, partition, event, profile_dist)
+        expected = [
+            event.probability_by_index(i) * profile_dist.probability_by_index(i)
+            for i in range(len(partition.subranges))
+        ]
+        assert scores == pytest.approx(expected)
+
+    def test_missing_distribution_raises(self):
+        partition, event, profile_dist = single_attribute_setup()
+        with pytest.raises(SelectivityError):
+            value_order_from_measure(ValueMeasure.V1_EVENT, partition)
+        with pytest.raises(SelectivityError):
+            value_order_from_measure(ValueMeasure.V2_PROFILE, partition, event)
+        with pytest.raises(SelectivityError):
+            value_selectivities(ValueMeasure.V3_COMBINED, partition, event)
+
+    def test_natural_measure_keeps_or_reverses_natural_order(self):
+        partition, event, _ = single_attribute_setup()
+        order = value_order_from_measure(ValueMeasure.NATURAL, partition, event)
+        assert order.ranked_indices() == [0, 1, 2]
+        reversed_order = value_order_from_measure(
+            ValueMeasure.NATURAL, partition, event, descending=False
+        )
+        assert reversed_order.ranked_indices() == [2, 1, 0]
+
+    def test_ties_keep_natural_order(self):
+        partition, _, _ = single_attribute_setup()
+        uniform = project_onto_partition(uniform_discrete(IntegerDomain(0, 9)), partition)
+        order = value_order_from_measure(ValueMeasure.V1_EVENT, partition, uniform)
+        assert order.ranked_indices() == [0, 1, 2]
+
+
+class TestAttributeMeasures:
+    def test_parse(self):
+        assert AttributeMeasure.parse("A1") is AttributeMeasure.A1_ZERO_FRACTION
+        assert AttributeMeasure.parse("a3") is AttributeMeasure.A3_CONDITIONAL
+        with pytest.raises(SelectivityError):
+            AttributeMeasure.parse("A7")
+
+    def test_a1_matches_paper_example3(self):
+        partitions = build_partitions(environmental_profiles())
+        scores = attribute_selectivities(AttributeMeasure.A1_ZERO_FRACTION, partitions)
+        assert scores["temperature"] == pytest.approx(0.625)
+        assert scores["humidity"] == pytest.approx(0.75)
+        assert scores["radiation"] == pytest.approx(0.0)
+
+    def test_a1_ordering_puts_humidity_first(self):
+        partitions = build_partitions(environmental_profiles())
+        order = attribute_order_from_measure(
+            AttributeMeasure.A1_ZERO_FRACTION,
+            partitions,
+            natural_order=["temperature", "humidity", "radiation"],
+        )
+        assert order == ("humidity", "temperature", "radiation")
+
+    def test_a2_ordering_agrees_with_paper(self):
+        profiles = environmental_profiles()
+        partitions = build_partitions(profiles)
+        distributions = example3_event_distributions()
+        subrange_dists = {
+            name: project_onto_partition(distributions[name], partitions[name])
+            for name in partitions
+        }
+        order = attribute_order_from_measure(
+            AttributeMeasure.A2_ZERO_PROBABILITY,
+            partitions,
+            subrange_dists,
+            natural_order=["temperature", "humidity", "radiation"],
+        )
+        # The paper's Measure A2 produces the same reordering as A1 here.
+        assert order == ("humidity", "temperature", "radiation")
+
+    def test_ascending_order_is_reverse_of_descending(self):
+        partitions = build_partitions(environmental_profiles())
+        descending = attribute_order_from_measure(
+            AttributeMeasure.A1_ZERO_FRACTION,
+            partitions,
+            natural_order=["temperature", "humidity", "radiation"],
+        )
+        ascending = attribute_order_from_measure(
+            AttributeMeasure.A1_ZERO_FRACTION,
+            partitions,
+            natural_order=["temperature", "humidity", "radiation"],
+            descending=False,
+        )
+        assert ascending == tuple(reversed(descending))
+
+    def test_a2_requires_event_distributions(self):
+        partitions = build_partitions(environmental_profiles())
+        with pytest.raises(SelectivityError):
+            attribute_selectivities(AttributeMeasure.A2_ZERO_PROBABILITY, partitions)
+
+    def test_a3_prefers_high_rejection_attributes_first(self):
+        profiles = environmental_profiles()
+        partitions = build_partitions(profiles)
+        distributions = example3_event_distributions()
+        subrange_dists = {
+            name: project_onto_partition(distributions[name], partitions[name])
+            for name in partitions
+        }
+        order = a3_order(
+            partitions,
+            subrange_dists,
+            natural_order=["temperature", "humidity", "radiation"],
+        )
+        # Humidity rejects ~64 % of the events, temperature 17 %, radiation 0 %.
+        assert order[0] == "humidity"
+        assert order[-1] == "radiation"
+
+    def test_a3_with_explicit_cost_function(self):
+        partitions = build_partitions(environmental_profiles())
+        order = a3_order(
+            partitions,
+            None,
+            natural_order=["temperature", "humidity", "radiation"],
+            cost_function=lambda names: 0.0 if names[0] == "radiation" else 1.0,
+        )
+        assert order[0] == "radiation"
+
+    def test_a3_refuses_large_attribute_counts(self):
+        partitions = {f"a{i}": None for i in range(9)}
+        with pytest.raises(SelectivityError):
+            a3_order(partitions, None, natural_order=list(partitions))

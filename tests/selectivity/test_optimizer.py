@@ -1,0 +1,104 @@
+"""Tests for the TreeOptimizer."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import SelectivityError
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.distributions.discrete import peaked_discrete, uniform_discrete
+from repro.matching.tree.config import SearchStrategy
+from repro.selectivity.attribute_measures import AttributeMeasure
+from repro.selectivity.optimizer import TreeOptimizer
+from repro.selectivity.value_measures import ValueMeasure
+from repro.workloads.toy import environmental_profiles, example3_event_distributions
+
+
+def stock_profiles():
+    schema = Schema(
+        [Attribute("price", IntegerDomain(0, 99)), Attribute("volume", IntegerDomain(0, 9))]
+    )
+    return ProfileSet(
+        schema,
+        [
+            profile("P1", price=90),
+            profile("P2", price=90),
+            profile("P3", price=10, volume=3),
+            profile("P4", price=50),
+        ],
+    )
+
+
+def stock_distributions():
+    return {
+        "price": peaked_discrete(
+            IntegerDomain(0, 99), peak_fraction=0.1, peak_mass=0.9, location="high"
+        ),
+        "volume": uniform_discrete(IntegerDomain(0, 9)),
+    }
+
+
+class TestTreeOptimizer:
+    def test_missing_event_distribution_rejected(self):
+        with pytest.raises(SelectivityError):
+            TreeOptimizer(stock_profiles(), {"price": stock_distributions()["price"]})
+
+    def test_event_subrange_distribution_is_projected(self):
+        optimizer = TreeOptimizer(stock_profiles(), stock_distributions())
+        projected = optimizer.event_subrange_distribution("price")
+        by_value = {
+            s.value: projected.probability(s)
+            for s in optimizer.partitions["price"].subranges
+        }
+        assert by_value[90] > by_value[10]
+
+    def test_profile_subrange_distribution_is_estimated_from_profiles(self):
+        optimizer = TreeOptimizer(stock_profiles(), stock_distributions())
+        projected = optimizer.profile_subrange_distribution("price")
+        by_value = {
+            s.value: projected.probability(s)
+            for s in optimizer.partitions["price"].subranges
+        }
+        assert by_value[90] == pytest.approx(0.5)  # two of four profiles
+
+    def test_value_order_v1_puts_likely_values_first(self):
+        optimizer = TreeOptimizer(stock_profiles(), stock_distributions())
+        order = optimizer.value_order("price", ValueMeasure.V1_EVENT)
+        partition = optimizer.partitions["price"]
+        first_value = partition.subranges[order.ranked_indices()[0]].value
+        assert first_value == 90
+
+    def test_configuration_combines_measures(self):
+        optimizer = TreeOptimizer(stock_profiles(), stock_distributions())
+        configuration = optimizer.configuration(
+            value_measure=ValueMeasure.V1_EVENT,
+            attribute_measure=AttributeMeasure.A2_ZERO_PROBABILITY,
+            search=SearchStrategy.LINEAR,
+        )
+        assert set(configuration.attribute_order) == {"price", "volume"}
+        assert "price" in configuration.value_orders
+        assert configuration.search is SearchStrategy.LINEAR
+        assert "V1" in configuration.label and "A2" in configuration.label
+
+    def test_natural_configuration_has_no_value_orders(self):
+        optimizer = TreeOptimizer(stock_profiles(), stock_distributions())
+        configuration = optimizer.configuration()
+        assert configuration.value_orders == {}
+
+    def test_attribute_order_a1_on_toy_example(self):
+        optimizer = TreeOptimizer(environmental_profiles(), example3_event_distributions())
+        assert optimizer.attribute_order(AttributeMeasure.A1_ZERO_FRACTION) == (
+            "humidity",
+            "temperature",
+            "radiation",
+        )
+
+    def test_attribute_scores_accessor(self):
+        optimizer = TreeOptimizer(environmental_profiles(), example3_event_distributions())
+        scores = optimizer.attribute_scores(AttributeMeasure.A1_ZERO_FRACTION)
+        assert scores["radiation"] == 0.0
+
+    def test_custom_label(self):
+        optimizer = TreeOptimizer(stock_profiles(), stock_distributions())
+        configuration = optimizer.configuration(label="my-config")
+        assert configuration.label == "my-config"

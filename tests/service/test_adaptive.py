@@ -1,0 +1,129 @@
+"""Tests for the adaptive filter component."""
+
+import random
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import ServiceError
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+from repro.selectivity.value_measures import ValueMeasure
+
+
+def single_attribute_profiles() -> ProfileSet:
+    schema = Schema([Attribute("v", IntegerDomain(0, 99))])
+    values = list(range(0, 100, 5))  # 20 referenced values spread over the domain
+    return ProfileSet(schema, [profile(f"P{v}", v=v) for v in values])
+
+
+def peaked_events(count: int, seed: int = 1) -> list[Event]:
+    """Events concentrated on the high referenced values (95 is popular)."""
+    rng = random.Random(seed)
+    events = []
+    for _ in range(count):
+        if rng.random() < 0.9:
+            value = 95
+        else:
+            value = rng.randint(0, 99)
+        events.append(Event({"v": value}))
+    return events
+
+
+class TestAdaptationPolicy:
+    def test_validation(self):
+        AdaptationPolicy()
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(reoptimize_interval=0)
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(improvement_threshold=1.5)
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(history_length=0)
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(warmup_events=-1)
+
+
+class TestAdaptiveFilterEngine:
+    def make_engine(self, **policy_kwargs) -> AdaptiveFilterEngine:
+        policy = AdaptationPolicy(
+            value_measure=ValueMeasure.V1_EVENT,
+            reoptimize_interval=policy_kwargs.pop("reoptimize_interval", 200),
+            warmup_events=policy_kwargs.pop("warmup_events", 100),
+            improvement_threshold=policy_kwargs.pop("improvement_threshold", 0.05),
+            **policy_kwargs,
+        )
+        return AdaptiveFilterEngine(single_attribute_profiles(), policy=policy)
+
+    def test_matching_results_are_unchanged_by_adaptation(self):
+        engine = self.make_engine()
+        events = peaked_events(600)
+        for event in events:
+            result = engine.match(event)
+            if event["v"] % 5 == 0:
+                assert result.is_match
+            else:
+                assert not result.is_match
+
+    def test_engine_restructures_for_a_peaked_distribution(self):
+        engine = self.make_engine()
+        assert engine.configuration.label == "natural"
+        for event in peaked_events(600):
+            engine.match(event)
+        records = engine.adaptations()
+        assert records, "the engine never considered a re-optimisation"
+        assert any(record.applied for record in records)
+        assert engine.configuration.label != "natural"
+
+    def test_adaptation_reduces_filtering_cost(self):
+        events = peaked_events(2000)
+        static = AdaptiveFilterEngine(
+            single_attribute_profiles(),
+            policy=AdaptationPolicy(reoptimize_interval=10**9, warmup_events=10**9),
+        )
+        adaptive = self.make_engine()
+        static_ops = sum(static.match(e).operations for e in events)
+        adaptive_ops = sum(adaptive.match(e).operations for e in events)
+        assert adaptive_ops < static_ops
+
+    def test_no_adaptation_before_warmup(self):
+        engine = self.make_engine(warmup_events=10_000, reoptimize_interval=100)
+        for event in peaked_events(500):
+            engine.match(event)
+        assert engine.adaptations() == []
+
+    def test_small_improvements_are_not_applied(self):
+        # Uniform events offer no improvement over the natural order, so the
+        # candidate configuration must be evaluated but not applied.
+        engine = self.make_engine(improvement_threshold=0.2)
+        rng = random.Random(3)
+        for _ in range(600):
+            engine.match(Event({"v": rng.randint(0, 99)}))
+        records = engine.adaptations()
+        assert records
+        assert all(
+            record.applied or record.predicted_improvement < 0.2 for record in records
+        )
+
+    def test_history_window_is_bounded(self):
+        engine = AdaptiveFilterEngine(
+            single_attribute_profiles(),
+            policy=AdaptationPolicy(history_length=50, reoptimize_interval=10**9,
+                                    warmup_events=10**9),
+        )
+        for event in peaked_events(200):
+            engine.match(event)
+        assert len(engine.history) == 50
+
+    def test_estimated_distributions_require_observations(self):
+        engine = self.make_engine()
+        with pytest.raises(ServiceError):
+            engine.estimated_event_distributions()
+
+    def test_profile_maintenance_delegates_to_matcher(self):
+        engine = self.make_engine()
+        engine.add_profile(profile("extra", v=33))
+        assert engine.match(Event({"v": 33})).is_match
+        engine.remove_profile("extra")
+        assert not engine.match(Event({"v": 33})).is_match

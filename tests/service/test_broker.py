@@ -1,0 +1,149 @@
+"""Tests for subscriptions, notifications and the single broker."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import ServiceError, SubscriptionError
+from repro.core.events import Event
+from repro.core.predicates import RangePredicate
+from repro.core.profiles import profile
+from repro.core.schema import Attribute, Schema
+from repro.service.broker import Broker
+from repro.service.notifications import Notification, NotificationLog
+from repro.service.subscriptions import SubscriptionRegistry
+from repro.workloads.toy import environmental_profiles, environmental_schema, example_event
+
+
+def price_schema() -> Schema:
+    return Schema([Attribute("price", IntegerDomain(0, 199))])
+
+
+class TestSubscriptionRegistry:
+    def test_subscribe_and_lookup(self):
+        registry = SubscriptionRegistry(price_schema())
+        subscription = registry.subscribe(profile("P1", price=50), "alice")
+        assert subscription.subscription_id in registry
+        assert registry.by_profile_id("P1").subscriber == "alice"
+        assert registry.subscribers() == ["alice"]
+        assert len(registry) == 1
+
+    def test_duplicate_profile_rejected(self):
+        registry = SubscriptionRegistry(price_schema())
+        registry.subscribe(profile("P1", price=50), "alice")
+        with pytest.raises(SubscriptionError):
+            registry.subscribe(profile("P1", price=60), "bob")
+
+    def test_unsubscribe(self):
+        registry = SubscriptionRegistry(price_schema())
+        subscription = registry.subscribe(profile("P1", price=50), "alice")
+        registry.unsubscribe(subscription.subscription_id)
+        assert len(registry) == 0
+        with pytest.raises(SubscriptionError):
+            registry.unsubscribe(subscription.subscription_id)
+
+    def test_invalid_profile_rejected(self):
+        registry = SubscriptionRegistry(price_schema())
+        with pytest.raises(Exception):
+            registry.subscribe(profile("P1", price=1000), "alice")
+
+    def test_profile_set_reflects_registered_profiles(self):
+        registry = SubscriptionRegistry(price_schema())
+        registry.subscribe(profile("P1", price=50), "alice")
+        registry.subscribe(profile("P2", price=60), "bob")
+        assert sorted(registry.profile_set().ids()) == ["P1", "P2"]
+
+
+class TestNotificationLog:
+    def test_collects_and_groups(self):
+        log = NotificationLog()
+        event = Event({"price": 10})
+        log.deliver(Notification(event, "P1", subscriber="alice"))
+        log.deliver(Notification(event, "P1", subscriber="alice"))
+        log.deliver(Notification(event, "P2", subscriber="bob"))
+        assert len(log) == 3
+        assert log.count_per_profile() == {"P1": 2, "P2": 1}
+        assert log.count_per_subscriber() == {"alice": 2, "bob": 1}
+        assert len(log.for_profile("P1")) == 2
+        assert len(log.for_subscriber("bob")) == 1
+        log.clear()
+        assert len(log) == 0
+
+
+class TestBroker:
+    def toy_broker(self, **kwargs) -> Broker:
+        broker = Broker(environmental_schema(), **kwargs)
+        for item in environmental_profiles():
+            broker.subscribe(item, subscriber=f"user-{item.profile_id}")
+        return broker
+
+    def test_publish_delivers_notifications(self):
+        broker = self.toy_broker()
+        outcome = broker.publish(example_event())
+        assert outcome.delivered == 2
+        assert sorted(n.profile_id for n in outcome.notifications) == ["P2", "P5"]
+        assert broker.notification_log.count_per_profile() == {"P2": 1, "P5": 1}
+        assert broker.statistics.events == 1
+
+    def test_publish_without_subscriptions_delivers_nothing(self):
+        broker = Broker(environmental_schema())
+        outcome = broker.publish(example_event())
+        assert outcome.delivered == 0
+        assert outcome.match_result is None
+        with pytest.raises(ServiceError):
+            broker.engine
+
+    def test_subscriber_sink_is_invoked(self):
+        broker = Broker(environmental_schema())
+        received = []
+        broker.subscribe(
+            profile("hot", temperature=RangePredicate.at_least(30)),
+            "alice",
+            sink=received.append,
+        )
+        broker.publish(example_event())
+        assert len(received) == 1
+        assert received[0].subscriber == "alice"
+
+    def test_unsubscribe_stops_notifications(self):
+        broker = Broker(environmental_schema())
+        subscription = broker.subscribe(
+            profile("hot", temperature=RangePredicate.at_least(30)), "alice"
+        )
+        assert broker.publish(example_event()).delivered == 1
+        broker.unsubscribe(subscription.subscription_id)
+        assert broker.publish(example_event()).delivered == 0
+
+    def test_quenching_drops_unmatchable_events(self):
+        broker = Broker(environmental_schema(), enable_quenching=True)
+        broker.subscribe(
+            profile(
+                "alarm",
+                temperature=RangePredicate.at_least(45),
+                humidity=RangePredicate.at_least(90),
+                radiation=RangePredicate.at_least(90),
+            ),
+            "ops",
+        )
+        cold = Event({"temperature": 0, "humidity": 95, "radiation": 95})
+        outcome = broker.publish(cold)
+        assert outcome.quenched
+        assert broker.quenched_events == 1
+        # Quenched events never reach the filter statistics.
+        assert broker.statistics.events == 0
+
+    def test_statistics_accumulate_over_events(self):
+        broker = self.toy_broker()
+        events = [
+            example_event(),
+            Event({"temperature": 40, "humidity": 95, "radiation": 40}),
+            Event({"temperature": 0, "humidity": 50, "radiation": 10}),
+        ]
+        broker.publish_all(events)
+        assert broker.statistics.events == 3
+        assert broker.statistics.matched_events == 2
+        assert broker.statistics.average_operations_per_event() > 0
+
+    def test_publish_validates_events(self):
+        broker = self.toy_broker()
+        with pytest.raises(Exception):
+            broker.publish(Event({"temperature": 10}))

@@ -1,0 +1,142 @@
+"""Tests for quenching and the covering relation."""
+
+import pytest
+
+from repro.core.domains import ContinuousDomain, IntegerDomain
+from repro.core.events import Event
+from repro.core.predicates import DONT_CARE, Equals, NotEquals, OneOf, RangePredicate
+from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.service.quenching import Quencher
+from repro.service.routing.covering import minimal_cover, predicate_covers, profile_covers
+from repro.workloads.toy import environmental_profiles, example_event
+
+
+class TestQuencher:
+    def test_events_outside_all_subscriptions_are_quenched(self):
+        profiles = environmental_profiles()
+        quencher = Quencher(profiles)
+        # Temperature 0 lies in the zero-subdomain of the temperature
+        # attribute, which every profile constrains.
+        decision = quencher.decide(Event({"temperature": 0, "humidity": 90, "radiation": 2}))
+        assert decision.quenched
+        assert decision.rejecting_attribute == "temperature"
+
+    def test_matching_events_pass(self):
+        quencher = Quencher(environmental_profiles())
+        assert not quencher.quench(example_event())
+
+    def test_attributes_with_dont_care_subscribers_never_quench(self):
+        quencher = Quencher(environmental_profiles())
+        # Radiation 10 matches no radiation constraint but P1/P2/P5 don't care.
+        event = Event({"temperature": 40, "humidity": 95, "radiation": 10})
+        assert not quencher.quench(event)
+
+    def test_quenching_never_drops_a_matching_event(self):
+        profiles = environmental_profiles()
+        quencher = Quencher(profiles)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(500):
+            event = Event(
+                {
+                    "temperature": rng.uniform(-30, 50),
+                    "humidity": rng.uniform(0, 100),
+                    "radiation": rng.uniform(1, 100),
+                }
+            )
+            if profiles.matching(event):
+                assert not quencher.quench(event)
+
+    def test_empty_profile_set_quenches_everything(self):
+        schema = Schema([Attribute("v", IntegerDomain(0, 9))])
+        quencher = Quencher(ProfileSet(schema))
+        assert quencher.quench(Event({"v": 1}))
+
+    def test_refresh_after_subscription_change(self):
+        schema = Schema([Attribute("v", IntegerDomain(0, 9))])
+        profiles = ProfileSet(schema, [profile("P1", v=1)])
+        quencher = Quencher(profiles)
+        assert quencher.quench(Event({"v": 5}))
+        profiles.add(profile("P2", v=5))
+        quencher.refresh()
+        assert not quencher.quench(Event({"v": 5}))
+
+
+class TestPredicateCovering:
+    DOMAIN = ContinuousDomain(0, 100)
+
+    def test_dont_care_covers_everything(self):
+        assert predicate_covers(DONT_CARE, Equals(5), self.DOMAIN)
+        assert predicate_covers(DONT_CARE, RangePredicate.between(1, 2), self.DOMAIN)
+        assert not predicate_covers(Equals(5), DONT_CARE, self.DOMAIN)
+
+    def test_range_covers_narrower_range(self):
+        wide = RangePredicate.between(10, 50)
+        narrow = RangePredicate.between(20, 30)
+        assert predicate_covers(wide, narrow, self.DOMAIN)
+        assert not predicate_covers(narrow, wide, self.DOMAIN)
+
+    def test_range_covers_equality_inside_it(self):
+        assert predicate_covers(RangePredicate.between(10, 50), Equals(30), self.DOMAIN)
+        assert not predicate_covers(RangePredicate.between(10, 50), Equals(60), self.DOMAIN)
+
+    def test_equality_covering(self):
+        assert predicate_covers(Equals(5), Equals(5), self.DOMAIN)
+        assert not predicate_covers(Equals(5), Equals(6), self.DOMAIN)
+
+    def test_oneof_covering(self):
+        domain = IntegerDomain(0, 9)
+        assert predicate_covers(OneOf([1, 2, 3]), Equals(2), domain)
+        assert predicate_covers(OneOf([1, 2, 3]), OneOf([2, 3]), domain)
+        assert not predicate_covers(OneOf([1, 2]), OneOf([2, 3]), domain)
+
+    def test_not_equals_covering(self):
+        domain = IntegerDomain(0, 9)
+        assert predicate_covers(NotEquals(5), Equals(4), domain)
+        assert not predicate_covers(NotEquals(5), Equals(5), domain)
+        assert predicate_covers(NotEquals(5), NotEquals(5), domain)
+        assert not predicate_covers(NotEquals(5), NotEquals(6), domain)
+
+
+class TestProfileCovering:
+    def schema(self):
+        return Schema(
+            [Attribute("price", ContinuousDomain(0, 200)), Attribute("volume", IntegerDomain(0, 9))]
+        )
+
+    def test_wider_profile_covers_narrower_one(self):
+        schema = self.schema()
+        wide = profile("wide", price=RangePredicate.at_least(100))
+        narrow = profile("narrow", price=RangePredicate.between(150, 180), volume=3)
+        assert profile_covers(wide, narrow, schema)
+        assert not profile_covers(narrow, wide, schema)
+
+    def test_minimal_cover_removes_covered_profiles(self):
+        schema = self.schema()
+        wide = profile("wide", price=RangePredicate.at_least(100))
+        narrow = profile("narrow", price=RangePredicate.between(150, 180))
+        other = profile("other", volume=5)
+        cover = minimal_cover([narrow, wide, other], schema)
+        ids = sorted(p.profile_id for p in cover)
+        assert ids == ["other", "wide"]
+
+    def test_minimal_cover_keeps_incomparable_profiles(self):
+        schema = self.schema()
+        first = profile("a", price=RangePredicate.between(0, 50))
+        second = profile("b", price=RangePredicate.between(60, 90))
+        assert len(minimal_cover([first, second], schema)) == 2
+
+    def test_covering_profile_matches_superset_of_events(self):
+        schema = self.schema()
+        wide = profile("wide", price=RangePredicate.at_least(100))
+        narrow = profile("narrow", price=RangePredicate.between(150, 180), volume=3)
+        assert profile_covers(wide, narrow, schema)
+        import random
+
+        rng = random.Random(13)
+        for _ in range(300):
+            event = Event({"price": rng.uniform(0, 200), "volume": rng.randint(0, 9)})
+            if narrow.matches(event):
+                assert wide.matches(event)

@@ -1,0 +1,152 @@
+"""Tests for the Siena-style broker overlay."""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import RoutingError
+from repro.core.events import Event
+from repro.core.predicates import RangePredicate
+from repro.core.profiles import profile
+from repro.core.schema import Attribute, Schema
+from repro.service.routing.network import BrokerNetwork
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.latency import ConstantLatency
+
+
+def price_schema() -> Schema:
+    return Schema([Attribute("price", IntegerDomain(0, 199))])
+
+
+def linear_network() -> BrokerNetwork:
+    """Three brokers in a line: b1 - b2 - b3."""
+    network = BrokerNetwork(price_schema())
+    for name in ["b1", "b2", "b3"]:
+        network.add_broker(name)
+    network.connect("b1", "b2")
+    network.connect("b2", "b3")
+    return network
+
+
+class TestTopology:
+    def test_duplicate_broker_rejected(self):
+        network = BrokerNetwork(price_schema())
+        network.add_broker("b1")
+        with pytest.raises(RoutingError):
+            network.add_broker("b1")
+
+    def test_connect_requires_existing_brokers(self):
+        network = BrokerNetwork(price_schema())
+        network.add_broker("b1")
+        with pytest.raises(RoutingError):
+            network.connect("b1", "b2")
+
+    def test_self_link_rejected(self):
+        network = BrokerNetwork(price_schema())
+        network.add_broker("b1")
+        with pytest.raises(RoutingError):
+            network.connect("b1", "b1")
+
+    def test_cycles_are_rejected(self):
+        network = linear_network()
+        with pytest.raises(RoutingError):
+            network.connect("b1", "b3")
+
+    def test_neighbours(self):
+        network = linear_network()
+        assert network.neighbours("b2") == ["b1", "b3"]
+        assert network.neighbours("b1") == ["b2"]
+
+
+class TestRouting:
+    def test_event_reaches_remote_subscriber(self):
+        network = linear_network()
+        network.subscribe("b3", profile("cheap", price=RangePredicate.at_most(50)), "carol")
+        report = network.publish("b1", Event({"price": 10}))
+        assert "b3" in report.brokers_visited
+        assert report.total_notifications == 1
+        assert network.broker("b3").notification_log.count_per_profile() == {"cheap": 1}
+
+    def test_uninteresting_event_is_rejected_at_the_origin(self):
+        network = linear_network()
+        network.subscribe("b3", profile("cheap", price=RangePredicate.at_most(50)), "carol")
+        report = network.publish("b1", Event({"price": 150}))
+        assert report.brokers_visited == ("b1",)
+        assert report.hops == 0
+        assert report.total_notifications == 0
+
+    def test_local_subscription_delivered_at_home_broker(self):
+        network = linear_network()
+        network.subscribe("b1", profile("all", price=RangePredicate.at_least(0)), "alice")
+        report = network.publish("b1", Event({"price": 5}))
+        assert report.notifications["b1"][0].subscriber == "alice"
+
+    def test_event_is_not_forwarded_to_uninterested_branches(self):
+        schema = price_schema()
+        network = BrokerNetwork(schema)
+        for name in ["hub", "left", "right"]:
+            network.add_broker(name)
+        network.connect("hub", "left")
+        network.connect("hub", "right")
+        network.subscribe("left", profile("low", price=RangePredicate.at_most(50)), "l")
+        network.subscribe("right", profile("high", price=RangePredicate.at_least(150)), "r")
+        report = network.publish("hub", Event({"price": 10}))
+        assert "left" in report.brokers_visited
+        assert "right" not in report.brokers_visited
+
+    def test_covering_prunes_subscription_propagation(self):
+        network = linear_network()
+        wide = profile("wide", price=RangePredicate.at_most(100))
+        narrow = profile("narrow", price=RangePredicate.at_most(50))
+        network.subscribe("b3", wide, "carol")
+        network.subscribe("b3", narrow, "carol")
+        # b1 only needs the covering profile to route correctly.
+        interests_at_b1 = network.broker("b1").remote_interest["b2"]
+        assert [p.profile_id for p in interests_at_b1] == ["wide"]
+        # Both profiles are still delivered at the home broker.
+        report = network.publish("b1", Event({"price": 40}))
+        delivered = sorted(n.profile_id for n in report.notifications["b3"])
+        assert delivered == ["narrow", "wide"]
+
+    def test_matching_equals_centralised_filtering(self):
+        """Routing through the overlay delivers exactly the notifications a
+        single centralised broker would."""
+        import random
+
+        network = linear_network()
+        rng = random.Random(3)
+        all_profiles = []
+        for i in range(30):
+            low = rng.randint(0, 180)
+            item = profile(f"P{i}", price=RangePredicate.between(low, low + rng.randint(0, 20)))
+            all_profiles.append(item)
+            network.subscribe(rng.choice(["b1", "b2", "b3"]), item, f"user{i}")
+        for _ in range(100):
+            event = Event({"price": rng.randint(0, 199)})
+            report = network.publish(rng.choice(["b1", "b2", "b3"]), event)
+            expected = sorted(p.profile_id for p in all_profiles if p.matches(event))
+            delivered = sorted(
+                n.profile_id
+                for notifications in report.notifications.values()
+                for n in notifications
+            )
+            assert delivered == expected
+
+    def test_publishing_with_simulation_engine_accumulates_latency(self):
+        network = BrokerNetwork(price_schema(), latency=ConstantLatency(2.0))
+        for name in ["b1", "b2", "b3"]:
+            network.add_broker(name)
+        network.connect("b1", "b2")
+        network.connect("b2", "b3")
+        network.subscribe("b3", profile("cheap", price=RangePredicate.at_most(50)), "carol")
+        engine = SimulationEngine()
+        report = network.publish("b1", Event({"price": 10}), engine=engine)
+        assert report.total_notifications == 1
+        notification = report.notifications["b3"][0]
+        # Two hops at latency 2.0 each.
+        assert notification.delivered_at == pytest.approx(4.0)
+        assert engine.clock.now == pytest.approx(4.0)
+
+    def test_unknown_broker_rejected(self):
+        network = linear_network()
+        with pytest.raises(RoutingError):
+            network.publish("nope", Event({"price": 10}))

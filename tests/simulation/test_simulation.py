@@ -1,0 +1,116 @@
+"""Tests for the discrete-event simulation substrate."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.latency import ConstantLatency, PerHopLatency, UniformLatency
+
+
+class TestSimulationClock:
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(5)
+        clock.advance_by(2)
+        assert clock.now == 7
+
+    def test_backwards_movement_rejected(self):
+        clock = SimulationClock(10)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5)
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1)
+
+
+class TestSimulationEngine:
+    def test_events_execute_in_timestamp_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(5, lambda e: order.append("late"))
+        engine.schedule_at(1, lambda e: order.append("early"))
+        engine.schedule_at(3, lambda e: order.append("middle"))
+        engine.run()
+        assert order == ["early", "middle", "late"]
+        assert engine.clock.now == 5
+        assert engine.executed == 3
+
+    def test_fifo_among_equal_timestamps(self):
+        engine = SimulationEngine()
+        order = []
+        for name in ["a", "b", "c"]:
+            engine.schedule_at(1, lambda e, n=name: order.append(n))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_after_uses_current_time(self):
+        engine = SimulationEngine(start_time=10)
+        seen = []
+        engine.schedule_after(5, lambda e: seen.append(e.clock.now))
+        engine.run()
+        assert seen == [15]
+
+    def test_callbacks_can_schedule_follow_ups(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick(e: SimulationEngine) -> None:
+            ticks.append(e.clock.now)
+            if len(ticks) < 5:
+                e.schedule_after(1, tick)
+
+        engine.schedule_at(0, tick)
+        engine.run()
+        assert ticks == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_at_the_horizon(self):
+        engine = SimulationEngine()
+        seen = []
+        for t in range(10):
+            engine.schedule_at(t, lambda e, t=t: seen.append(t))
+        executed = engine.run(until=4.5)
+        assert executed == 5
+        assert engine.pending == 5
+        assert engine.clock.now == 4.5
+
+    def test_run_max_events(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule_at(t, lambda e: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 7
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine(start_time=10)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1, lambda e: None)
+
+    def test_step_on_empty_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().step()
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        assert ConstantLatency(3.0).delay("a", "b") == 3.0
+        with pytest.raises(SimulationError):
+            ConstantLatency(-1)
+
+    def test_uniform_is_seeded_and_bounded(self):
+        first = UniformLatency(1, 2, seed=5)
+        second = UniformLatency(1, 2, seed=5)
+        values = [first.delay("a", "b") for _ in range(20)]
+        assert values == [second.delay("a", "b") for _ in range(20)]
+        assert all(1 <= v <= 2 for v in values)
+        with pytest.raises(SimulationError):
+            UniformLatency(3, 1)
+
+    def test_per_hop(self):
+        model = PerHopLatency({("a", "b"): 5.0}, default=1.0)
+        assert model.delay("a", "b") == 5.0
+        assert model.delay("b", "a") == 5.0  # symmetric lookup
+        assert model.delay("a", "c") == 1.0
+        with pytest.raises(SimulationError):
+            PerHopLatency({("a", "b"): -2.0})

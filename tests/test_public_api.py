@@ -1,0 +1,77 @@
+"""Smoke tests of the public API surface and the toy-example helpers.
+
+These tests guard the import structure a downstream user relies on: every
+name re-exported by a package ``__init__`` must resolve, and the documented
+quickstart flow must work verbatim.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.core import Event, RangePredicate, profile
+from repro.matching import TreeMatcher
+from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure
+from repro.workloads import (
+    environmental_profiles,
+    environmental_schema,
+    example2_temperature_distribution,
+    example3_event_distributions,
+    example_event,
+)
+
+PACKAGES = [
+    "repro.core",
+    "repro.distributions",
+    "repro.matching",
+    "repro.matching.tree",
+    "repro.selectivity",
+    "repro.analysis",
+    "repro.service",
+    "repro.service.routing",
+    "repro.simulation",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.experiments.figures",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__")
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} is exported but missing"
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_quickstart_flow_matches_readme():
+    profiles = environmental_profiles(environmental_schema())
+    matcher = TreeMatcher(profiles)
+    result = matcher.match(example_event())
+    assert sorted(result.matched_profile_ids) == ["P2", "P5"]
+
+    optimizer = TreeOptimizer(profiles, example3_event_distributions())
+    matcher.reconfigure(
+        optimizer.configuration(
+            value_measure=ValueMeasure.V1_EVENT,
+            attribute_measure=AttributeMeasure.A2_ZERO_PROBABILITY,
+        )
+    )
+    assert sorted(matcher.match(example_event()).matched_profile_ids) == ["P2", "P5"]
+
+
+def test_toy_distributions_are_normalised():
+    example2_temperature_distribution().validate()
+    for distribution in example3_event_distributions().values():
+        distribution.validate()
+
+
+def test_profile_helper_and_event_roundtrip():
+    built = profile("alarm", temperature=RangePredicate.at_least(45))
+    assert built.matches(Event({"temperature": 50}))
+    assert not built.matches(Event({"temperature": 20}))
