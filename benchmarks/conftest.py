@@ -4,8 +4,15 @@ Each figure benchmark both *times* the reproduction (via pytest-benchmark)
 and *persists* the regenerated table under ``benchmarks/output/`` so the
 numbers quoted in EXPERIMENTS.md can be refreshed with a single
 ``pytest benchmarks/ --benchmark-only`` run.
+
+``--bench-summary [PATH]`` additionally dumps a ``BENCH_summary.json`` of
+the mean comparison operations per event for every matcher the baselines
+benchmark exercises — a timing-free regression guard that CI uploads as an
+artifact (wall-clock numbers are too flaky to gate on in CI; the operation
+counts are deterministic).
 """
 
+import json
 import os
 import sys
 
@@ -16,6 +23,58 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+_OPS_SUMMARY: dict[str, dict[str, float]] = {}
+
+
+def pytest_addoption(parser):
+    """Register ``--bench-summary`` (effective when pytest targets this
+    directory; a plain repo-root run never parses the option)."""
+    parser.addoption(
+        "--bench-summary",
+        action="store",
+        nargs="?",
+        const=os.path.join(OUTPUT_DIR, "BENCH_summary.json"),
+        default=None,
+        metavar="PATH",
+        help="dump a JSON summary of mean comparison operations per event "
+        "per matcher (default path: benchmarks/output/BENCH_summary.json)",
+    )
+
+
+@pytest.fixture
+def record_ops():
+    """Record one matcher's FilterStatistics for the summary dump."""
+
+    def _record(matcher_name: str, statistics) -> None:
+        _OPS_SUMMARY[matcher_name] = {
+            "mean_operations_per_event": statistics.average_operations_per_event(),
+            "mean_matches_per_event": statistics.average_matches_per_event(),
+            "events": float(statistics.events),
+        }
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_summary.json when ``--bench-summary`` was given."""
+    try:
+        target = session.config.getoption("--bench-summary")
+    except (ValueError, KeyError):
+        return
+    if not target or not _OPS_SUMMARY:
+        return
+    directory = os.path.dirname(target)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    payload = {
+        "metric": "mean comparison operations per event",
+        "scenario": "stock ticker (400 profiles, 1500 events)",
+        "matchers": dict(sorted(_OPS_SUMMARY.items())),
+    }
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -8,7 +8,6 @@ has to discover the distribution from its history.
 
 import random
 
-import pytest
 
 from repro.core import Attribute, Event, IntegerDomain, ProfileSet, Schema, profile
 from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure

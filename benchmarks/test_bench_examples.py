@@ -10,7 +10,6 @@ import pytest
 from repro.analysis.paper_examples import (
     PAPER_EXAMPLE2,
     PAPER_EXAMPLE3,
-    PAPER_EXAMPLE4,
     example2_results,
     example3_results,
     example4_results,

@@ -6,11 +6,9 @@ the number of profiles, and how the routing overlay scales with extra
 brokers.
 """
 
-import random
 
 import pytest
 
-from repro.core import Event
 from repro.matching import TreeMatcher, build_tree
 from repro.matching.statistics import FilterStatistics
 from repro.workloads import build_workload, single_attribute_spec

@@ -14,7 +14,6 @@ Run with:  python examples/broker_network.py
 import random
 from collections import Counter
 
-from repro.core import Event
 from repro.service import BrokerNetwork
 from repro.simulation import SimulationEngine, UniformLatency
 from repro.workloads import build_workload, facility_management_spec

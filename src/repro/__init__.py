@@ -11,7 +11,8 @@ Sub-packages
 ``repro.distributions``
     Event/profile distributions, projection onto sub-ranges, estimation.
 ``repro.matching``
-    Naive, counting and tree-based matchers with operation accounting.
+    Naive, counting, tree-based and predicate-index matchers with operation
+    accounting and a batch filtering API.
 ``repro.selectivity``
     Value measures V1-V3, attribute measures A1-A3, the tree optimizer.
 ``repro.analysis``
@@ -27,6 +28,27 @@ Sub-packages
     The evaluation harness regenerating every figure of the paper.
 """
 
-__version__ = "1.0.0"
+from repro.matching import (
+    CountingMatcher,
+    Matcher,
+    MatchResult,
+    NaiveMatcher,
+    PredicateIndexMatcher,
+    TreeMatcher,
+    match_all,
+    match_batch,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "CountingMatcher",
+    "MatchResult",
+    "Matcher",
+    "NaiveMatcher",
+    "PredicateIndexMatcher",
+    "TreeMatcher",
+    "__version__",
+    "match_all",
+    "match_batch",
+]

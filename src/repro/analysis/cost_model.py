@@ -22,14 +22,14 @@ noise; this is validated by the integration tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.domains import DiscreteDomain
 from repro.core.errors import MatchingError
 from repro.core.intervals import Interval
 from repro.core.subranges import AttributePartition, Subrange
-from repro.distributions.base import Distribution, SubrangeDistribution, project_onto_partition
+from repro.distributions.base import Distribution
 from repro.matching.tree.builder import ProfileTree
 from repro.matching.tree.config import SearchStrategy, ValueOrder
 from repro.matching.tree.nodes import TreeLeaf, TreeNode

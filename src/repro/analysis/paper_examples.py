@@ -27,8 +27,7 @@ from repro.analysis.cost_model import (
     expected_tree_cost,
 )
 from repro.core.profiles import ProfileSet
-from repro.core.subranges import build_partition, build_partitions
-from repro.distributions.base import project_onto_partition
+from repro.core.subranges import build_partition
 from repro.matching.tree.builder import build_tree
 from repro.matching.tree.config import SearchStrategy, TreeConfiguration
 from repro.selectivity.attribute_measures import AttributeMeasure
@@ -113,8 +112,6 @@ def example2_results() -> Example2Result:
     profiles = _toy_profiles()
     partition = build_partition(profiles, TEMPERATURE)
     distribution = example2_temperature_distribution()
-    event_subrange = project_onto_partition(distribution, partition)
-
     optimizer = TreeOptimizer(
         profiles,
         {

@@ -25,9 +25,9 @@ derive the at most ``2p - 1`` sub-ranges per attribute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from repro.core.domains import ContinuousDomain, DiscreteDomain, Domain, IntegerDomain
+from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
 from repro.core.errors import PredicateError
 from repro.core.intervals import Interval
 

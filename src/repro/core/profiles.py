@@ -8,12 +8,12 @@ set of profiles registered with an ENS is denoted ``P`` with ``|P| = p``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.errors import ProfileError
 from repro.core.events import Event
-from repro.core.predicates import DONT_CARE, DontCare, Equals, Predicate, RangePredicate
+from repro.core.predicates import DONT_CARE, Equals, Predicate, RangePredicate
 from repro.core.schema import Schema
 
 __all__ = ["Profile", "ProfileSet", "profile"]

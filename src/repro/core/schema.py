@@ -8,7 +8,7 @@ attribute ordering baseline of the evaluation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.domains import Domain

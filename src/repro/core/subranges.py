@@ -14,14 +14,14 @@ the attribute-selectivity measures A1 and A2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.domains import ContinuousDomain, DiscreteDomain, Domain, IntegerDomain
+from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
 from repro.core.errors import PredicateError, ProfileError
 from repro.core.intervals import Interval, decompose_intervals
 from repro.core.profiles import Profile, ProfileSet
-from repro.core.schema import Attribute, Schema
+from repro.core.schema import Attribute
 
 __all__ = ["Subrange", "AttributePartition", "build_partition", "build_partitions"]
 

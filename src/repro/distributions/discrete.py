@@ -14,7 +14,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
 from repro.core.errors import DistributionError

@@ -18,7 +18,7 @@ Both options are available here:
 from __future__ import annotations
 
 import random
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping
 
 from repro.core.errors import DistributionError
 from repro.core.events import Event

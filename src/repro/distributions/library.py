@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Mapping
 
-from repro.core.domains import ContinuousDomain, DiscreteDomain, Domain, IntegerDomain
+from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
 from repro.core.errors import DistributionError
 from repro.distributions.base import Distribution
 from repro.distributions.continuous import (

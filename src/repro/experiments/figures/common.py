@@ -18,7 +18,6 @@ from typing import Sequence
 from repro.core.errors import ExperimentError
 from repro.experiments.harness import (
     OrderingStrategy,
-    StrategyEvaluation,
     evaluate_analytically,
     evaluate_by_simulation,
 )

@@ -12,7 +12,6 @@ inspected, plotted or regression-tested.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.core.domains import IntegerDomain
 from repro.distributions.library import make_distribution

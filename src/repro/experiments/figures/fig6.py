@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.domains import IntegerDomain
-from repro.core.predicates import Equals, RangePredicate
+from repro.core.predicates import Equals
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.schema import Attribute, Schema
 from repro.distributions.base import Distribution
@@ -32,8 +32,6 @@ from repro.distributions.library import make_distribution
 from repro.experiments.harness import (
     OrderingStrategy,
     STRATEGY_BINARY,
-    STRATEGY_EVENT,
-    StrategyEvaluation,
     configuration_for_strategy,
 )
 from repro.analysis.cost_model import expected_tree_cost

@@ -11,23 +11,20 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.cost_model import TreeCost, expected_tree_cost
 from repro.core.errors import ExperimentError
 from repro.core.events import Event
-from repro.core.profiles import ProfileSet
-from repro.distributions.base import Distribution
 from repro.matching.statistics import FilterStatistics
-from repro.matching.tree.builder import ProfileTree, build_tree
+from repro.matching.tree.builder import build_tree
 from repro.matching.tree.config import SearchStrategy, TreeConfiguration
 from repro.matching.tree.matcher import TreeMatcher
 from repro.selectivity.attribute_measures import AttributeMeasure
 from repro.selectivity.optimizer import TreeOptimizer
 from repro.selectivity.value_measures import ValueMeasure
-from repro.workloads.generators import Workload, build_workload
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.generators import Workload
 
 __all__ = [
     "OrderingStrategy",

@@ -8,8 +8,8 @@ per ordering strategy), which the benchmark harness writes to stdout and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.errors import ExperimentError
 

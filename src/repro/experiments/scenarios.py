@@ -37,7 +37,6 @@ from repro.experiments.harness import (
 )
 from repro.workloads.generators import Workload, build_workload
 from repro.workloads.scenarios import environmental_monitoring_spec, single_attribute_spec
-from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
     "ScenarioResult",

@@ -1,19 +1,28 @@
 """Event-filtering algorithms.
 
-Three matcher families, all implementing the same
-:class:`~repro.matching.interfaces.Matcher` interface and the same
-comparison-operation accounting:
+Four matcher families, all implementing the same
+:class:`~repro.matching.interfaces.Matcher` interface (including the batch
+API ``match_batch``) and the same comparison-operation accounting:
 
 * :class:`~repro.matching.naive.NaiveMatcher` — evaluate every profile
   (simple-algorithm baseline);
 * :class:`~repro.matching.counting.CountingMatcher` — predicate counting
   with shared predicate evaluation (clustering-style baseline);
 * :class:`~repro.matching.tree.TreeMatcher` — the profile-tree filter the
-  paper improves with distribution-based reordering.
+  paper improves with distribution-based reordering;
+* :class:`~repro.matching.index.PredicateIndexMatcher` — counting over
+  per-(attribute, operator) index buckets, planned by the
+  selectivity-aware :class:`~repro.matching.index.IndexPlanner`.
 """
 
 from repro.matching.counting import CountingMatcher
-from repro.matching.interfaces import Matcher, MatchResult, match_all
+from repro.matching.index import (
+    AttributePlan,
+    IndexPlan,
+    IndexPlanner,
+    PredicateIndexMatcher,
+)
+from repro.matching.interfaces import Matcher, MatchResult, match_all, match_batch
 from repro.matching.naive import NaiveMatcher
 from repro.matching.statistics import FilterStatistics, RunningMean
 from repro.matching.tree import (
@@ -26,11 +35,15 @@ from repro.matching.tree import (
 )
 
 __all__ = [
+    "AttributePlan",
     "CountingMatcher",
     "FilterStatistics",
+    "IndexPlan",
+    "IndexPlanner",
     "MatchResult",
     "Matcher",
     "NaiveMatcher",
+    "PredicateIndexMatcher",
     "ProfileTree",
     "RunningMean",
     "SearchStrategy",
@@ -39,4 +52,5 @@ __all__ = [
     "ValueOrder",
     "build_tree",
     "match_all",
+    "match_batch",
 ]

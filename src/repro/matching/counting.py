@@ -15,12 +15,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable
 
-from repro.core.domains import DiscreteDomain, IntegerDomain
-from repro.core.errors import MatchingError
 from repro.core.events import Event
-from repro.core.predicates import Equals, OneOf, Predicate
+from repro.core.predicates import Equals, Predicate
 from repro.core.profiles import Profile, ProfileSet
 from repro.matching.interfaces import MatchResult
 
@@ -43,6 +41,17 @@ class CountingMatcher:
     and attribute, only the predicates on the observed value are touched
     (cost 1 per satisfied equality predicate plus one lookup); all other
     predicate kinds are evaluated individually (cost 1 each).
+
+    .. note::
+       The reported ``operations`` count comparison steps only.  The
+       per-profile counter increments and the final collection pass over
+       the profile set (``O(p)`` per event in this baseline) are *not*
+       counted, so the metric is a lower bound that is not directly
+       comparable with the tree matcher's edge-probe counts — see the
+       baselines benchmark.
+       :class:`~repro.matching.index.PredicateIndexMatcher` is the
+       production descendant of this algorithm: planned buckets, bisect
+       range probes and touched-profile collection.
     """
 
     def __init__(self, profiles: ProfileSet) -> None:
@@ -121,3 +130,8 @@ class CountingMatcher:
             elif satisfied_counts.get(profile.profile_id, 0) >= required:
                 matched.append(profile.profile_id)
         return MatchResult(tuple(matched), operations, visited_levels=len(event))
+
+    def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Filter a sequence of events (amortised dispatch)."""
+        match = self.match
+        return [match(event) for event in events]

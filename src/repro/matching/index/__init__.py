@@ -1,0 +1,50 @@
+"""Predicate-index matching engine.
+
+This subsystem generalises the predicate-counting idea (Le Subscribe,
+Fabret et al. — see :mod:`repro.matching.counting`) into a planned,
+per-(attribute, operator) index:
+
+Bucket layout
+-------------
+Every distinct ``(attribute, predicate)`` pair becomes one *entry* shared
+by all subscribing profiles.  Per attribute the entries are split by
+operator into:
+
+* a **hash bucket** (``Equals``, ``OneOf``) — ``{event value -> entries}``;
+  one dict probe per event returns exactly the satisfied equality entries,
+* an **interval bucket** (``RangePredicate``) — the overlapping ranges are
+  decomposed into sorted *slabs* (point slabs at each distinct endpoint,
+  open gap slabs between them), each carrying the entries that cover it;
+  one ``bisect`` probe over the slab boundaries returns every satisfied
+  range entry with exact open/closed-bound semantics,
+* a **scan fallback** (``NotEquals`` and anything without a natural index)
+  — flattened ``(predicate, subscribers)`` tuples inside the matcher,
+  evaluated entry by entry like the counting baseline's general index.
+
+The :class:`IndexPlanner` compares, per attribute, the expected cost of a
+probe (``probe + E[hits]`` under the event distribution ``P_e``, mirroring
+the ``E(X) + R_0`` decomposition of the paper's Eq. 2) against the cost of
+scanning all entries, and demotes an attribute's buckets to the scan path
+when the probe would not pay off.  It also ranks attributes by rejection
+power (Measures A1/A2 of :mod:`repro.selectivity`) so the matcher probes
+the most selective attribute first and can stop as soon as a
+fully-constrained attribute yields no hit.
+
+:class:`PredicateIndexMatcher` then satisfies profiles by counting index
+hits per profile — never by evaluating profiles one at a time — and offers
+a batch API (:meth:`PredicateIndexMatcher.match_batch`) that amortises
+per-event dispatch for the service layer and the benchmarks.
+"""
+
+from repro.matching.index.buckets import HashBucket, IntervalBucket
+from repro.matching.index.matcher import PredicateIndexMatcher
+from repro.matching.index.planner import AttributePlan, IndexPlan, IndexPlanner
+
+__all__ = [
+    "AttributePlan",
+    "HashBucket",
+    "IndexPlan",
+    "IndexPlanner",
+    "IntervalBucket",
+    "PredicateIndexMatcher",
+]

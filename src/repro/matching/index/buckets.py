@@ -1,0 +1,148 @@
+"""Per-(attribute, operator) index buckets.
+
+Each bucket maps one event value to the set of *predicate entries* it
+satisfies, where an entry is one distinct ``(attribute, predicate)`` pair
+shared by every profile that subscribes to it (the Le Subscribe /
+predicate-counting factoring the :mod:`repro.matching.counting` baseline
+gestures at, made into a first-class data structure):
+
+* :class:`HashBucket` — ``Equals`` / ``OneOf`` entries.  One hash probe per
+  event resolves *exactly* the equality entries registered on the observed
+  value; a ``OneOf`` entry is registered once per accepted value.
+* :class:`IntervalBucket` — range entries (``RangePredicate``).  The raw,
+  possibly overlapping intervals are decomposed into *slabs*: every distinct
+  endpoint becomes a point slab and every open gap between two consecutive
+  endpoints becomes a gap slab.  Each slab stores the tuple of entries whose
+  interval covers it, so a single :func:`bisect.bisect_left` probe returns
+  every satisfied range entry with exact open/closed endpoint semantics and
+  no per-entry comparison.
+``NotEquals`` and any predicate kind without a natural index fall back to
+a linear scan (one evaluation per distinct entry, like the counting
+baseline's general index); the
+:class:`~repro.matching.index.planner.IndexPlanner` also demotes hash and
+range entries to that scan path when its cost model says a probe would not
+pay off.  The scan path lives inside the matcher as flattened
+``(predicate, subscribers)`` tuples — it needs no bucket structure.
+
+Buckets deal in opaque integer entry ids; the matcher owns the mapping from
+entry id to subscribing profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.intervals import Interval
+
+__all__ = ["HashBucket", "IntervalBucket"]
+
+
+class HashBucket:
+    """Hash index over equality-style entries of one attribute."""
+
+    __slots__ = ("_table",)
+
+    #: A hash probe costs one comparison, like the counting baseline's
+    #: equality fast path.
+    probe_cost = 1
+
+    def __init__(self, table: Mapping[object, Iterable[int]]) -> None:
+        self._table: dict[object, tuple[int, ...]] = {
+            value: tuple(entry_ids) for value, entry_ids in table.items()
+        }
+
+    def lookup(self, value: object) -> tuple[int, ...]:
+        """Return the entry ids satisfied by ``value``."""
+        return self._table.get(value, ())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self) -> Iterator[tuple[object, tuple[int, ...]]]:
+        """Iterate over ``(value, entry_ids)`` pairs (for cost estimation)."""
+        return iter(self._table.items())
+
+
+class IntervalBucket:
+    """Sorted slab index over the range entries of one attribute.
+
+    The constructor decomposes the input intervals into point slabs (one per
+    distinct endpoint) and gap slabs (the open interval between consecutive
+    endpoints).  Duplicate boundaries collapse into a single point slab, and
+    open/closed endpoints are honoured exactly: an entry's interval covers
+    its endpoint's point slab only when that side is closed.
+    """
+
+    __slots__ = ("_boundaries", "_point_cover", "_gap_cover", "probe_cost")
+
+    def __init__(self, items: Sequence[tuple[Interval, int]]) -> None:
+        boundaries = sorted({b for interval, _ in items for b in (interval.low, interval.high)})
+        self._boundaries = boundaries
+        # One sweep over the slab sequence gap_0, point_0, gap_1, ...,
+        # point_{n-1}, gap_n (slab position 2j for gap j, 2i+1 for point i)
+        # builds every cover in O(k log k): each interval covers a single
+        # contiguous slab range determined by its endpoints' openness, so a
+        # start/stop event diff plus an insertion-ordered active set gives
+        # the exact cover without any per-slab containment probing.
+        boundary_index = {value: index for index, value in enumerate(boundaries)}
+        slab_count = 2 * len(boundaries) + 1
+        starts: list[list[int]] = [[] for _ in range(slab_count + 1)]
+        stops: list[list[int]] = [[] for _ in range(slab_count + 1)]
+        for interval, entry_id in items:
+            low_index = boundary_index[interval.low]
+            high_index = boundary_index[interval.high]
+            first = 2 * low_index + 1 if interval.low_closed else 2 * low_index + 2
+            last = 2 * high_index + 1 if interval.high_closed else 2 * high_index
+            starts[first].append(entry_id)
+            stops[last + 1].append(entry_id)
+        active: dict[int, None] = {}
+        covers: list[tuple[int, ...]] = []
+        for position in range(slab_count):
+            for entry_id in stops[position]:
+                del active[entry_id]
+            for entry_id in starts[position]:
+                active[entry_id] = None
+            covers.append(tuple(sorted(active)))
+        self._gap_cover = covers[0::2]
+        self._point_cover = covers[1::2]
+        #: Comparisons charged per bisect probe: the depth of the binary
+        #: search over the boundary list.
+        self.probe_cost = max(1, len(boundaries).bit_length())
+
+    def lookup(self, value: object) -> tuple[int, ...]:
+        """Return the entry ids whose interval contains ``value``."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return ()
+        boundaries = self._boundaries
+        position = bisect_left(boundaries, value)
+        if position < len(boundaries) and boundaries[position] == value:
+            return self._point_cover[position]
+        return self._gap_cover[position]
+
+    def __len__(self) -> int:
+        return len(self._boundaries)
+
+    def slabs(self) -> Iterator[tuple[Interval | None, tuple[int, ...]]]:
+        """Iterate over ``(slab_interval, entry_ids)`` pairs.
+
+        Point slabs yield degenerate intervals; interior gap slabs yield
+        open intervals.  The two unbounded outer gaps yield ``None`` (their
+        cover is empty by construction).
+        """
+        boundaries = self._boundaries
+        for gap_index, cover in enumerate(self._gap_cover):
+            if gap_index == 0 or gap_index == len(boundaries):
+                yield None, cover
+            else:
+                low, high = boundaries[gap_index - 1], boundaries[gap_index]
+                if low < high:
+                    yield Interval(low, high, False, False), cover
+                else:  # pragma: no cover - duplicate boundaries collapse
+                    yield None, cover
+        for value, cover in zip(boundaries, self._point_cover):
+            if math.isinf(value):
+                yield None, cover
+            else:
+                yield Interval.point(value), cover

@@ -1,0 +1,332 @@
+"""The predicate-index matcher.
+
+:class:`PredicateIndexMatcher` decomposes every profile predicate into the
+per-(attribute, operator) buckets of :mod:`repro.matching.index.buckets`
+and satisfies profiles by *counting over index hits*: each distinct
+``(attribute, predicate)`` pair is one entry shared by all subscribing
+profiles; per event and attribute a single probe returns the satisfied
+entries, their subscribers' counters are incremented, and the profiles
+whose counter reaches their constrained-attribute count match.
+
+Compared with the :class:`~repro.matching.counting.CountingMatcher`
+baseline this replaces the per-predicate scan of range predicates with one
+bisect probe into precomputed slabs, lets the
+:class:`~repro.matching.index.planner.IndexPlanner` fall back to a scan
+where a probe would not pay off, collects matches from the touched
+profiles only (never the full profile set), and probes attributes in
+descending selectivity order so fully-constrained attributes without hits
+reject the event early.
+
+Operation accounting follows the suite's convention (one comparison per
+probe step and per satisfied/scanned entry; counter bookkeeping is free —
+see ``CountingMatcher`` and the baselines benchmark for the caveat this
+implies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.events import Event
+from repro.core.intervals import Interval
+from repro.core.predicates import Equals, OneOf, Predicate, RangePredicate
+from repro.core.profiles import Profile, ProfileSet
+from repro.distributions.base import Distribution
+from repro.matching.index.buckets import HashBucket, IntervalBucket
+from repro.matching.index.planner import AttributePlan, IndexPlan, IndexPlanner
+from repro.matching.interfaces import MatchResult
+
+__all__ = ["PredicateIndexMatcher"]
+
+
+class _AttributeIndex:
+    """Compiled per-attribute lookup state.
+
+    ``hash_postings`` / ``slab postings`` flatten each bucket region into a
+    ``(profile_ids, comparisons)`` pair so the hot loop touches no entry
+    objects: ``profile_ids`` concatenates the subscribers of every entry in
+    the region and ``comparisons`` is the number of entries (the operation
+    cost charged for the hits).
+    """
+
+    __slots__ = ("hash_table", "interval_bucket", "slab_postings", "scan", "probe_cost")
+
+    def __init__(
+        self,
+        hash_table: dict[object, tuple[tuple[str, ...], int]] | None,
+        interval_bucket: IntervalBucket | None,
+        slab_postings: dict[tuple[int, ...], tuple[tuple[str, ...], int]],
+        scan: tuple[tuple[Predicate, tuple[str, ...]], ...],
+        probe_cost: int,
+    ) -> None:
+        self.hash_table = hash_table
+        self.interval_bucket = interval_bucket
+        self.slab_postings = slab_postings
+        self.scan = scan
+        self.probe_cost = probe_cost
+
+
+class PredicateIndexMatcher:
+    """Counting matcher over per-attribute predicate indexes."""
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        *,
+        planner: IndexPlanner | None = None,
+    ) -> None:
+        self.profiles = profiles
+        self._planner = planner if planner is not None else IndexPlanner()
+        self._rebuild()
+
+    # -- index maintenance ------------------------------------------------------
+    def _rebuild(self) -> None:
+        planner = self._planner
+        schema = self.profiles.schema
+
+        # 1. Collect distinct (attribute, predicate) entries and subscribers.
+        entry_ids: dict[str, dict[Predicate, int]] = {}
+        subscribers: dict[str, list[list[str]]] = {}
+        required: dict[str, int] = {}
+        always_match: list[str] = []
+        order_index: dict[str, int] = {}
+        for position, profile in enumerate(self.profiles):
+            order_index[profile.profile_id] = position
+            constrained = 0
+            for attribute, predicate in profile.predicates.items():
+                if predicate.is_dont_care:
+                    continue
+                constrained += 1
+                per_attribute = entry_ids.setdefault(attribute, {})
+                entry = per_attribute.get(predicate)
+                if entry is None:
+                    entry = len(per_attribute)
+                    per_attribute[predicate] = entry
+                    subscribers.setdefault(attribute, []).append([])
+                subscribers[attribute][entry].append(profile.profile_id)
+            required[profile.profile_id] = constrained
+            if constrained == 0:
+                always_match.append(profile.profile_id)
+        self._required = required
+        self._always_match = tuple(always_match)
+        self._order_index = order_index
+
+        # 2. Classify entries into bucket kinds per attribute.
+        plans: dict[str, AttributePlan] = {}
+        indexes: dict[str, _AttributeIndex] = {}
+        buckets: dict[str, tuple[HashBucket | None, IntervalBucket | None, int]] = {}
+        reject_fast: set[str] = set()
+        profile_count = len(self.profiles)
+        for attribute, predicates in entry_ids.items():
+            attribute_subscribers = subscribers[attribute]
+            hash_items: dict[object, list[int]] = {}
+            interval_items: list[tuple[Interval, int]] = []
+            scan_items: list[tuple[int, Predicate]] = []
+            for predicate, entry in predicates.items():
+                if isinstance(predicate, Equals):
+                    hash_items.setdefault(predicate.value, []).append(entry)
+                elif isinstance(predicate, OneOf):
+                    for value in predicate.values:
+                        hash_items.setdefault(value, []).append(entry)
+                elif isinstance(predicate, RangePredicate):
+                    interval_items.append((predicate.interval, entry))
+                else:
+                    scan_items.append((entry, predicate))
+
+            hash_bucket = HashBucket(hash_items) if hash_items else None
+            interval_bucket = IntervalBucket(interval_items) if interval_items else None
+            buckets[attribute] = (hash_bucket, interval_bucket, len(scan_items))
+            domain = schema.domain(attribute)
+            plan = planner.plan_attribute(
+                attribute,
+                domain,
+                hash_bucket=hash_bucket,
+                interval_bucket=interval_bucket,
+                scan_entry_count=len(scan_items),
+            )
+            plans[attribute] = plan
+
+            def postings(entries: Iterable[int]) -> tuple[tuple[str, ...], int]:
+                flat: list[str] = []
+                count = 0
+                for entry in entries:
+                    count += 1
+                    flat.extend(attribute_subscribers[entry])
+                return tuple(flat), count
+
+            if plan.use_index:
+                hash_table = (
+                    {value: postings(ids) for value, ids in hash_bucket.items()}
+                    if hash_bucket is not None
+                    else None
+                )
+                slab_postings: dict[tuple[int, ...], tuple[tuple[str, ...], int]] = {}
+                if interval_bucket is not None:
+                    for _, cover in interval_bucket.slabs():
+                        if cover not in slab_postings:
+                            slab_postings[cover] = postings(cover)
+                scan = tuple(
+                    (predicate, tuple(attribute_subscribers[entry]))
+                    for entry, predicate in scan_items
+                )
+                probe_cost = interval_bucket.probe_cost if interval_bucket is not None else 0
+                indexes[attribute] = _AttributeIndex(
+                    hash_table, interval_bucket, slab_postings, scan, probe_cost
+                )
+            else:
+                # The planner judged a probe more expensive than evaluating
+                # every predicate: route everything through the scan bucket.
+                scan_all: list[tuple[Predicate, tuple[str, ...]]] = []
+                for predicate, entry in predicates.items():
+                    scan_all.append((predicate, tuple(attribute_subscribers[entry])))
+                indexes[attribute] = _AttributeIndex(None, None, {}, tuple(scan_all), 0)
+
+            # Early rejection is sound only when *every* profile constrains
+            # the attribute: a zero-hit probe then proves no profile matches.
+            constraining = sum(len(ids) for ids in attribute_subscribers)
+            if constraining >= profile_count and profile_count > 0:
+                distinct_profiles = {pid for ids in attribute_subscribers for pid in ids}
+                if len(distinct_profiles) == profile_count:
+                    reject_fast.add(attribute)
+
+        self._indexes = indexes
+        self._attribute_buckets = buckets
+        probe_order = [name for name in planner.probe_order(self.profiles) if name in indexes]
+        self._probe_order = tuple(probe_order)
+        self._reject_fast = frozenset(reject_fast)
+        self._plan = IndexPlan(attributes=plans, probe_order=self._probe_order)
+
+    def add_profile(self, profile: Profile) -> None:
+        """Register an additional profile and rebuild the indexes."""
+        self.profiles.add(profile)
+        self._rebuild()
+
+    def remove_profile(self, profile_id: str) -> None:
+        """Unregister a profile and rebuild the indexes."""
+        self.profiles.remove(profile_id)
+        self._rebuild()
+
+    # -- planning introspection -------------------------------------------------
+    @property
+    def plan(self) -> IndexPlan:
+        """Return the planner's per-attribute decisions."""
+        return self._plan
+
+    @property
+    def planner(self) -> IndexPlanner:
+        return self._planner
+
+    def replan(self, event_distributions: Mapping[str, Distribution]) -> None:
+        """Rebuild the indexes with distribution-aware planning."""
+        self._planner = IndexPlanner(
+            event_distributions, attribute_measure=self._planner.attribute_measure
+        )
+        self._rebuild()
+
+    def estimated_cost(
+        self, event_distributions: Mapping[str, Distribution] | None = None
+    ) -> float:
+        """Return the expected comparisons/event of the *current* plan.
+
+        With ``event_distributions`` the current strategy choices are
+        re-costed under the given distributions (used by the adaptive
+        engine to judge whether replanning would pay off); without, the
+        plan's own estimate is returned.  Costing always goes through
+        :meth:`IndexPlanner.plan_attribute`, so both sides of a replan
+        comparison use one cost model.
+        """
+        if event_distributions is None:
+            return self._plan.estimated_operations_per_event
+        total = 0.0
+        for attribute, recosted in self.recost_plans(event_distributions).items():
+            current = self._plan.plan_for(attribute)
+            use_index = current.use_index if current is not None else recosted.use_index
+            total += recosted.index_cost if use_index else recosted.scan_cost
+        return total
+
+    def recost_plans(
+        self, event_distributions: Mapping[str, Distribution]
+    ) -> dict[str, AttributePlan]:
+        """Re-cost the existing buckets under new distributions.
+
+        Returns what a fresh plan over the *current* bucket contents would
+        decide per attribute — without rebuilding any index structure, so
+        the adaptive engine can estimate a replan's payoff cheaply and only
+        build the replanned matcher when it actually applies.
+        """
+        planner = IndexPlanner(
+            event_distributions, attribute_measure=self._planner.attribute_measure
+        )
+        schema = self.profiles.schema
+        return {
+            attribute: planner.plan_attribute(
+                attribute,
+                schema.domain(attribute),
+                hash_bucket=hash_bucket,
+                interval_bucket=interval_bucket,
+                scan_entry_count=scan_count,
+            )
+            for attribute, (hash_bucket, interval_bucket, scan_count) in (
+                self._attribute_buckets.items()
+            )
+        }
+
+    # -- matching ---------------------------------------------------------------
+    def match(self, event: Event) -> MatchResult:
+        """Filter one event by counting satisfied entries per profile."""
+        counts: dict[str, int] = {}
+        operations = 0
+        values = event.values
+        reject_fast = self._reject_fast
+        for attribute in self._probe_order:
+            if attribute not in values:
+                continue
+            value = values[attribute]
+            index = self._indexes[attribute]
+            attribute_hits = 0
+            hash_table = index.hash_table
+            if hash_table is not None:
+                operations += 1
+                hit = hash_table.get(value)
+                if hit is not None:
+                    profile_ids, comparisons = hit
+                    operations += comparisons
+                    attribute_hits += len(profile_ids)
+                    for profile_id in profile_ids:
+                        counts[profile_id] = counts.get(profile_id, 0) + 1
+            interval_bucket = index.interval_bucket
+            if interval_bucket is not None:
+                operations += index.probe_cost
+                cover = interval_bucket.lookup(value)
+                if cover:
+                    profile_ids, comparisons = index.slab_postings[cover]
+                    operations += comparisons
+                    attribute_hits += len(profile_ids)
+                    for profile_id in profile_ids:
+                        counts[profile_id] = counts.get(profile_id, 0) + 1
+            for predicate, profile_ids in index.scan:
+                operations += 1
+                if predicate.matches(value):
+                    attribute_hits += len(profile_ids)
+                    for profile_id in profile_ids:
+                        counts[profile_id] = counts.get(profile_id, 0) + 1
+            if attribute_hits == 0 and attribute in reject_fast:
+                return MatchResult(tuple(), operations, visited_levels=len(values))
+
+        required = self._required
+        matched = [
+            profile_id for profile_id, count in counts.items() if count == required[profile_id]
+        ]
+        if self._always_match:
+            matched.extend(self._always_match)
+        matched.sort(key=self._order_index.__getitem__)
+        return MatchResult(tuple(matched), operations, visited_levels=len(values))
+
+    def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Filter a sequence of events with amortised dispatch."""
+        match = self.match
+        return [match(event) for event in events]
+
+    def match_all(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Alias of :meth:`match_batch` (tree-matcher compatible)."""
+        return self.match_batch(events)

@@ -1,0 +1,225 @@
+"""Selectivity-aware index planning.
+
+The :class:`IndexPlanner` decides, per attribute, whether the
+:class:`~repro.matching.index.matcher.PredicateIndexMatcher` should answer
+that attribute through its hash/interval buckets or fall back to a linear
+predicate scan.  The decision compares two expected per-event costs in the
+suite's common currency (comparison operations, see
+:mod:`repro.matching.interfaces`):
+
+* ``scan_cost`` — the counting baseline's strategy: evaluate each of the
+  ``k`` distinct predicates on the attribute once per event, i.e. ``k``
+  comparisons regardless of the event value.
+* ``index_cost = probe_cost + E[hits]`` — one probe (hash lookup, or the
+  bisect depth over the slab boundaries) plus the expected number of
+  satisfied entries, which mirrors the ``R = E(X) + R_0`` decomposition of
+  the paper's Eq. 2 as computed by
+  :func:`repro.analysis.cost_model.attribute_response_time`: a position
+  term that depends on where the event value falls, plus a constant probe
+  overhead.
+
+``E[hits]`` is taken under the attribute's event distribution ``P_e`` when
+one is supplied — the same distributions the selectivity measures V1-V3 /
+A1-A3 of :mod:`repro.selectivity` consume — and under a uniform assumption
+otherwise.  The planner also ranks attributes by their estimated rejection
+power (the probability that an event value satisfies *no* entry, weighted
+like Measure A2's zero-subdomain probability via
+:func:`repro.selectivity.attribute_measures.attribute_selectivities`), so
+the matcher can probe highly selective attributes first and cut matching
+short as soon as a fully-constrained attribute yields no hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.domains import Domain
+from repro.core.errors import ReproError, SelectivityError
+from repro.core.subranges import build_partitions
+from repro.distributions.base import Distribution, project_onto_partition
+from repro.selectivity.attribute_measures import AttributeMeasure, attribute_selectivities
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.core.profiles import ProfileSet
+    from repro.matching.index.buckets import HashBucket, IntervalBucket
+
+__all__ = ["AttributePlan", "IndexPlan", "IndexPlanner"]
+
+
+@dataclass(frozen=True)
+class AttributePlan:
+    """The planner's verdict for one attribute."""
+
+    attribute: str
+    #: ``True`` when the hash/interval buckets are used; ``False`` when all
+    #: predicates of the attribute are routed to the scan bucket.
+    use_index: bool
+    #: Expected comparisons for the indexed strategy (probe + E[hits]).
+    index_cost: float
+    #: Expected comparisons for the scan strategy (distinct predicate count).
+    scan_cost: float
+    #: Number of distinct predicate entries on the attribute.
+    entry_count: int
+
+    @property
+    def chosen_cost(self) -> float:
+        """Return the expected cost of the chosen strategy."""
+        return self.index_cost if self.use_index else self.scan_cost
+
+
+@dataclass(frozen=True)
+class IndexPlan:
+    """A full per-attribute plan plus the derived probe order."""
+
+    attributes: Mapping[str, AttributePlan]
+    #: Attribute probe order, most selective (highest rejection power) first.
+    probe_order: tuple[str, ...]
+
+    @property
+    def estimated_operations_per_event(self) -> float:
+        """Return the planner's predicted comparisons per event."""
+        return sum(plan.chosen_cost for plan in self.attributes.values())
+
+    def plan_for(self, attribute: str) -> AttributePlan | None:
+        return self.attributes.get(attribute)
+
+
+class IndexPlanner:
+    """Chooses per-attribute index structures from selectivity estimates."""
+
+    #: Measures probe_order() can rank by; A3 is a whole-order (tree) measure
+    #: with no per-attribute score and is rejected at construction.
+    SUPPORTED_MEASURES = (
+        AttributeMeasure.NATURAL,
+        AttributeMeasure.A1_ZERO_FRACTION,
+        AttributeMeasure.A2_ZERO_PROBABILITY,
+    )
+
+    def __init__(
+        self,
+        event_distributions: Mapping[str, Distribution] | None = None,
+        *,
+        attribute_measure: AttributeMeasure = AttributeMeasure.A2_ZERO_PROBABILITY,
+    ) -> None:
+        if attribute_measure not in self.SUPPORTED_MEASURES:
+            raise SelectivityError(
+                f"IndexPlanner supports measures {[m.value for m in self.SUPPORTED_MEASURES]}, "
+                f"not {attribute_measure.value!r}"
+            )
+        self.event_distributions = dict(event_distributions) if event_distributions else {}
+        self.attribute_measure = attribute_measure
+
+    # -- probability estimation -------------------------------------------------
+    def _value_probability(self, attribute: str, domain: Domain, value: object) -> float:
+        distribution = self.event_distributions.get(attribute)
+        if distribution is not None:
+            return distribution.probability_of_value(value)
+        size = domain.size
+        return 1.0 / size if size not in (0.0, float("inf")) else 0.0
+
+    def _interval_probability(self, attribute: str, domain: Domain, interval) -> float:
+        clamped = domain.clamp(interval)
+        if clamped is None:
+            return 0.0
+        distribution = self.event_distributions.get(attribute)
+        if distribution is not None:
+            return distribution.probability_of_interval(clamped)
+        size = domain.size
+        return domain.measure(clamped) / size if size > 0 else 0.0
+
+    # -- per-attribute costing --------------------------------------------------
+    def expected_hash_hits(self, attribute: str, domain: Domain, bucket: "HashBucket") -> float:
+        """Return ``E[hits]`` of a hash bucket under ``P_e``."""
+        return sum(
+            self._value_probability(attribute, domain, value) * len(entry_ids)
+            for value, entry_ids in bucket.items()
+        )
+
+    def expected_interval_hits(
+        self, attribute: str, domain: Domain, bucket: "IntervalBucket"
+    ) -> float:
+        """Return ``E[hits]`` of an interval bucket under ``P_e``."""
+        expected = 0.0
+        for slab, entry_ids in bucket.slabs():
+            if slab is None or not entry_ids:
+                continue
+            expected += self._interval_probability(attribute, domain, slab) * len(entry_ids)
+        return expected
+
+    def plan_attribute(
+        self,
+        attribute: str,
+        domain: Domain,
+        *,
+        hash_bucket: "HashBucket | None",
+        interval_bucket: "IntervalBucket | None",
+        scan_entry_count: int = 0,
+    ) -> AttributePlan:
+        """Cost one attribute's strategies and pick the cheaper one.
+
+        ``scan_entry_count`` counts the predicates that can only ever be
+        scanned (``NotEquals`` and friends); they contribute to both sides
+        and therefore never change the decision, but they make the reported
+        costs comparable across attributes.
+        """
+        indexable = 0
+        probe_cost = 0.0
+        expected_hits = 0.0
+        if hash_bucket is not None and len(hash_bucket) > 0:
+            # Distinct entries, not per-value registrations: a OneOf entry
+            # appears under every accepted value but a scan evaluates the
+            # predicate once, so scan_cost must count it once.
+            indexable += len({i for _, ids in hash_bucket.items() for i in ids})
+            probe_cost += hash_bucket.probe_cost
+            expected_hits += self.expected_hash_hits(attribute, domain, hash_bucket)
+        if interval_bucket is not None and len(interval_bucket) > 0:
+            indexable += len({i for _, ids in interval_bucket.slabs() for i in ids})
+            probe_cost += interval_bucket.probe_cost
+            expected_hits += self.expected_interval_hits(attribute, domain, interval_bucket)
+        scan_cost = float(indexable + scan_entry_count)
+        index_cost = probe_cost + expected_hits + float(scan_entry_count)
+        return AttributePlan(
+            attribute=attribute,
+            use_index=indexable > 0 and index_cost < scan_cost,
+            index_cost=index_cost,
+            scan_cost=scan_cost,
+            entry_count=indexable + scan_entry_count,
+        )
+
+    # -- attribute ordering -----------------------------------------------------
+    def probe_order(self, profiles: "ProfileSet") -> tuple[str, ...]:
+        """Return the attribute probe order, most selective first.
+
+        Ranks by the configured ``attribute_measure``: Measure A2
+        (zero-subdomain size weighted by its event probability) when the
+        event distributions are available, degrading to Measure A1
+        (relative zero-subdomain size) without them; ``NATURAL`` keeps the
+        schema order.  Ties keep the schema order.
+        """
+        names = list(profiles.schema.names)
+        measure = self.attribute_measure
+        if measure is AttributeMeasure.NATURAL:
+            return tuple(names)
+        try:
+            partitions = build_partitions(profiles)
+            projected = None
+            if measure is AttributeMeasure.A2_ZERO_PROBABILITY and self.event_distributions:
+                candidate = {
+                    name: project_onto_partition(self.event_distributions[name], partition)
+                    for name, partition in partitions.items()
+                    if name in self.event_distributions
+                }
+                if len(candidate) == len(partitions):
+                    projected = candidate
+            if projected is not None:
+                scores = attribute_selectivities(measure, partitions, projected)
+            else:
+                scores = attribute_selectivities(AttributeMeasure.A1_ZERO_FRACTION, partitions)
+        except ReproError:
+            # Selectivity scoring is an optimisation, not a correctness
+            # requirement: workloads the partition builder cannot model
+            # (e.g. exotic predicate mixes) fall back to schema order.
+            return tuple(names)
+        position = {name: index for index, name in enumerate(names)}
+        return tuple(sorted(names, key=lambda n: (-scores.get(n, 0.0), position[n])))

@@ -1,21 +1,30 @@
 """Common matcher interface.
 
 Every filtering algorithm in the library — the naive baseline, the
-counting-based baseline and the (distribution-aware) profile-tree matcher —
-implements the :class:`Matcher` interface: given an event, return the set of
-matching profile ids *and* the number of comparison operations spent, since
-the paper measures filter performance "in comparison steps (# operations)".
+counting-based baseline, the (distribution-aware) profile-tree matcher and
+the predicate-index matcher — implements the :class:`Matcher` interface:
+given an event, return the set of matching profile ids *and* the number of
+comparison operations spent, since the paper measures filter performance
+"in comparison steps (# operations)".
+
+Matchers additionally expose a **batch API**, :meth:`Matcher.match_batch`,
+which filters a sequence of events in one call.  Semantically it equals
+mapping :meth:`Matcher.match` over the events; implementations use it to
+amortise per-event dispatch (bound-method reuse, index locals), and the
+service layer (:meth:`repro.service.broker.Broker.publish_batch`) builds on
+it.  :func:`match_batch` is the generic helper for matcher-like objects
+that predate the method.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
 
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
 
-__all__ = ["MatchResult", "Matcher"]
+__all__ = ["MatchResult", "Matcher", "match_all", "match_batch"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,10 @@ class Matcher(Protocol):
         """Filter one event and return the matching profiles with cost."""
         ...
 
+    def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Filter a sequence of events, one result per event."""
+        ...
+
     def add_profile(self, profile: Profile) -> None:
         """Register an additional profile (rebuilding indexes as needed)."""
         ...
@@ -73,3 +86,11 @@ class Matcher(Protocol):
 def match_all(matcher: Matcher, events: Iterable[Event]) -> list[MatchResult]:
     """Filter a sequence of events, returning one result per event."""
     return [matcher.match(event) for event in events]
+
+
+def match_batch(matcher: Matcher, events: Iterable[Event]) -> list[MatchResult]:
+    """Batch-filter ``events``, using the matcher's own batch path if any."""
+    batch = getattr(matcher, "match_batch", None)
+    if batch is not None:
+        return batch(events)
+    return match_all(matcher, events)

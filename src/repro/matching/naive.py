@@ -10,7 +10,8 @@ and serves as the baseline the tree matcher is compared against in the
 
 from __future__ import annotations
 
-from repro.core.errors import MatchingError
+from typing import Iterable
+
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
 from repro.matching.interfaces import MatchResult
@@ -55,3 +56,8 @@ class NaiveMatcher:
             if satisfied:
                 matched.append(profile.profile_id)
         return MatchResult(tuple(matched), operations, visited_levels=len(self.profiles))
+
+    def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Filter a sequence of events (amortised dispatch)."""
+        match = self.match
+        return [match(event) for event in events]

@@ -15,13 +15,13 @@ distribution-based restructuring of Section 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.errors import TreeConstructionError
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.schema import Schema
 from repro.core.subranges import AttributePartition, build_partitions
-from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
+from repro.matching.tree.config import TreeConfiguration
 from repro.matching.tree.nodes import TreeEdge, TreeElement, TreeLeaf, TreeNode
 
 __all__ = ["ProfileTree", "build_tree"]
@@ -135,8 +135,6 @@ def build_tree(
         dont_care = tuple(
             pid for pid in candidates if not profile_by_id[pid].constrains(attribute)
         )
-        constraining_set = set(constraining)
-
         # Defined edges: one per partition sub-range accepted by at least one
         # constraining candidate; don't-care candidates are replicated under
         # every edge so the single-path property holds.

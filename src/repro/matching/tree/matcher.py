@@ -19,7 +19,7 @@ from repro.core.profiles import Profile, ProfileSet
 from repro.core.subranges import AttributePartition
 from repro.matching.interfaces import MatchResult
 from repro.matching.tree.builder import ProfileTree, build_tree
-from repro.matching.tree.config import SearchStrategy, TreeConfiguration
+from repro.matching.tree.config import TreeConfiguration
 from repro.matching.tree.nodes import TreeLeaf, TreeNode
 from repro.matching.tree.search import search_node
 
@@ -131,5 +131,10 @@ class TreeMatcher:
         return MatchResult(element.profile_ids, operations, levels)
 
     def match_all(self, events: Iterable[Event]) -> list[MatchResult]:
-        """Filter a sequence of events."""
-        return [self.match(event) for event in events]
+        """Filter a sequence of events (alias of :meth:`match_batch`)."""
+        return self.match_batch(events)
+
+    def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Filter a sequence of events (amortised dispatch)."""
+        match = self.match
+        return [match(event) for event in events]

@@ -15,8 +15,8 @@ Leaves carry the ids of the profiles matched by every event reaching them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterator, Union
 
 from repro.core.subranges import Subrange
 

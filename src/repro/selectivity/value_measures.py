@@ -18,7 +18,6 @@ The three measures proposed by the paper:
 from __future__ import annotations
 
 import enum
-from typing import Callable, Sequence
 
 from repro.core.errors import SelectivityError
 from repro.core.subranges import AttributePartition

@@ -24,16 +24,17 @@ tree for certain applications based on the data distributions".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from repro.analysis.cost_model import expected_tree_cost
 from repro.core.errors import ServiceError
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
 from repro.distributions.base import Distribution
-from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.estimation import EventHistory
+from repro.matching.index.matcher import PredicateIndexMatcher
+from repro.matching.index.planner import IndexPlanner
 from repro.matching.interfaces import MatchResult
 from repro.matching.tree.config import SearchStrategy, TreeConfiguration
 from repro.matching.tree.matcher import TreeMatcher
@@ -43,16 +44,21 @@ from repro.selectivity.value_measures import ValueMeasure
 
 __all__ = ["AdaptationPolicy", "AdaptationRecord", "AdaptiveFilterEngine"]
 
+#: Matcher roster of the adaptive engine: policy.engine selects one.
+ENGINES = ("tree", "index")
+
 
 @dataclass(frozen=True)
 class AdaptationPolicy:
     """Tuning knobs of the adaptive filter component."""
 
-    #: Value-selectivity measure used when re-optimising.
+    #: Value-selectivity measure used when re-optimising (tree engine only).
     value_measure: ValueMeasure = ValueMeasure.V1_EVENT
-    #: Attribute-selectivity measure used when re-optimising.
+    #: Attribute-selectivity measure used when re-optimising.  The tree
+    #: engine accepts any measure; the index engine ranks its probe order
+    #: with it and supports NATURAL/A1/A2 (A3 is a whole-tree measure).
     attribute_measure: AttributeMeasure = AttributeMeasure.A2_ZERO_PROBABILITY
-    #: Node search strategy of the rebuilt tree.
+    #: Node search strategy of the rebuilt tree (tree engine only).
     search: SearchStrategy = SearchStrategy.LINEAR
     #: Re-optimisation is considered every this many filtered events.
     reoptimize_interval: int = 1000
@@ -62,8 +68,19 @@ class AdaptationPolicy:
     improvement_threshold: float = 0.05
     #: Length of the sliding event history window.
     history_length: int = 10_000
+    #: Which matcher the engine drives: ``"tree"`` (the paper's profile
+    #: tree, restructured via the TreeOptimizer) or ``"index"`` (the
+    #: predicate-index matcher, replanned via the IndexPlanner).
+    engine: str = "tree"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ServiceError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.engine == "index" and self.attribute_measure not in IndexPlanner.SUPPORTED_MEASURES:
+            raise ServiceError(
+                f"the index engine cannot rank by measure {self.attribute_measure.value!r}; "
+                f"supported: {[m.value for m in IndexPlanner.SUPPORTED_MEASURES]}"
+            )
         if self.reoptimize_interval <= 0:
             raise ServiceError("reoptimize_interval must be positive")
         if self.warmup_events < 0:
@@ -104,7 +121,17 @@ class AdaptiveFilterEngine:
     ) -> None:
         self.policy = policy or AdaptationPolicy()
         self.profiles = profiles
-        self._matcher = TreeMatcher(profiles, initial_configuration)
+        self._matcher: TreeMatcher | PredicateIndexMatcher
+        if self.policy.engine == "index":
+            # ``initial_configuration``, value_measure and search are
+            # tree-shape knobs with no index analogue; the attribute
+            # measure transfers and drives the probe order.
+            self._matcher = PredicateIndexMatcher(
+                profiles,
+                planner=IndexPlanner(attribute_measure=self.policy.attribute_measure),
+            )
+        else:
+            self._matcher = TreeMatcher(profiles, initial_configuration)
         self._history = EventHistory(profiles.schema, max_length=self.policy.history_length)
         self._events_filtered = 0
         self._events_at_last_check = 0
@@ -112,8 +139,8 @@ class AdaptiveFilterEngine:
 
     # -- delegation ---------------------------------------------------------------
     @property
-    def matcher(self) -> TreeMatcher:
-        """Return the wrapped tree matcher."""
+    def matcher(self) -> TreeMatcher | PredicateIndexMatcher:
+        """Return the wrapped matcher (tree or predicate index)."""
         return self._matcher
 
     @property
@@ -123,6 +150,8 @@ class AdaptiveFilterEngine:
 
     @property
     def configuration(self) -> TreeConfiguration:
+        if not isinstance(self._matcher, TreeMatcher):
+            raise ServiceError("the index engine has no tree configuration")
         return self._matcher.configuration
 
     def adaptations(self) -> list[AdaptationRecord]:
@@ -146,6 +175,16 @@ class AdaptiveFilterEngine:
         if self._reoptimisation_due():
             self._consider_reoptimisation()
         return result
+
+    def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
+        """Filter a sequence of events with the same re-optimisation cadence.
+
+        Equivalent to calling :meth:`match` per event (re-optimisation may
+        restructure the matcher mid-batch, exactly as in the sequential
+        path), with the per-event dispatch amortised.
+        """
+        match = self.match
+        return [match(event) for event in events]
 
     def _reoptimisation_due(self) -> bool:
         if self._events_filtered < self.policy.warmup_events:
@@ -173,6 +212,9 @@ class AdaptiveFilterEngine:
         try:
             distributions = self.estimated_event_distributions()
         except ServiceError:
+            return
+        if isinstance(self._matcher, PredicateIndexMatcher):
+            self._consider_index_replan(distributions)
             return
         optimizer = TreeOptimizer(
             self.profiles,
@@ -206,5 +248,51 @@ class AdaptiveFilterEngine:
                 predicted_candidate=predicted_candidate,
                 applied=applied,
                 configuration_label=candidate.label,
+            )
+        )
+
+    def _consider_index_replan(self, distributions: Mapping[str, Distribution]) -> None:
+        """Index-engine variant: replan the buckets from the history.
+
+        The current plan and a fresh distribution-aware plan are both costed
+        under the estimated distributions; the matcher is rebuilt only when
+        the planner predicts at least ``improvement_threshold`` relative
+        improvement, mirroring the tree path's restructuring economics.
+        """
+        matcher = self._matcher
+        assert isinstance(matcher, PredicateIndexMatcher)
+        # One cheap recosting pass yields both sides of the comparison; the
+        # replanned matcher is only built when the improvement is applied.
+        recosted = matcher.recost_plans(distributions)
+        predicted_current = 0.0
+        predicted_candidate = 0.0
+        for attribute, candidate_plan in recosted.items():
+            current_plan = matcher.plan.plan_for(attribute)
+            current_uses_index = (
+                current_plan.use_index if current_plan is not None else candidate_plan.use_index
+            )
+            predicted_current += (
+                candidate_plan.index_cost if current_uses_index else candidate_plan.scan_cost
+            )
+            predicted_candidate += candidate_plan.chosen_cost
+        improvement = (
+            1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
+        )
+        applied = improvement >= self.policy.improvement_threshold
+        if applied:
+            self._matcher = PredicateIndexMatcher(
+                self.profiles,
+                planner=IndexPlanner(
+                    distributions, attribute_measure=matcher.planner.attribute_measure
+                ),
+            )
+        indexed = sum(1 for plan in recosted.values() if plan.use_index)
+        self._adaptations.append(
+            AdaptationRecord(
+                event_count=self._events_filtered,
+                predicted_current=predicted_current,
+                predicted_candidate=predicted_candidate,
+                applied=applied,
+                configuration_label=f"index[{indexed} indexed, P_e estimated]",
             )
         )

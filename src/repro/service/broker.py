@@ -11,8 +11,8 @@ applies publisher-side quenching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Mapping
+from dataclasses import dataclass, replace
+from typing import Iterable
 
 from repro.core.errors import ServiceError
 from repro.core.events import Event
@@ -21,7 +21,7 @@ from repro.core.schema import Schema
 from repro.matching.interfaces import MatchResult
 from repro.matching.statistics import FilterStatistics
 from repro.matching.tree.config import TreeConfiguration
-from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+from repro.service.adaptive import ENGINES, AdaptationPolicy, AdaptiveFilterEngine
 from repro.service.notifications import Notification, NotificationLog, NotificationSink
 from repro.service.quenching import Quencher
 from repro.service.subscriptions import Subscription, SubscriptionRegistry
@@ -56,8 +56,18 @@ class Broker:
         adaptation_policy: AdaptationPolicy | None = None,
         configuration: TreeConfiguration | None = None,
         enable_quenching: bool = False,
+        engine: str | None = None,
     ) -> None:
         self.broker_id = broker_id
+        if engine is not None:
+            if engine not in ENGINES:
+                raise ServiceError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+            if adaptation_policy is not None and adaptation_policy.engine != engine:
+                raise ServiceError(
+                    f"conflicting engine choice: engine={engine!r} but the adaptation "
+                    f"policy selects {adaptation_policy.engine!r}; set one or the other"
+                )
+        self._engine_choice = engine
         self._schema = schema
         self._registry = SubscriptionRegistry(schema)
         self._profiles = ProfileSet(schema)
@@ -78,19 +88,13 @@ class Broker:
             self._engine = None
             return
         policy = self._adaptation_policy or AdaptationPolicy()
+        if self._engine_choice is not None and policy.engine != self._engine_choice:
+            policy = replace(policy, engine=self._engine_choice)
         if not self._adaptive:
             # A non-adaptive broker still uses the adaptive engine object but
             # with an interval large enough that it never restructures; this
             # keeps a single code path for filtering and history keeping.
-            policy = AdaptationPolicy(
-                value_measure=policy.value_measure,
-                attribute_measure=policy.attribute_measure,
-                search=policy.search,
-                reoptimize_interval=2**31,
-                warmup_events=2**31,
-                improvement_threshold=policy.improvement_threshold,
-                history_length=policy.history_length,
-            )
+            policy = replace(policy, reoptimize_interval=2**31, warmup_events=2**31)
         self._engine = AdaptiveFilterEngine(
             self._profiles,
             policy=policy,
@@ -178,6 +182,10 @@ class Broker:
             return PublishOutcome(event, False, None, tuple())
 
         result = self._engine.match(event)
+        return self._deliver(event, result, self._clock)
+
+    def _deliver(self, event: Event, result: MatchResult, clock: float) -> PublishOutcome:
+        """Record statistics and deliver the notifications of one result."""
         self._statistics.record(result)
         notifications = []
         for profile_id in result.matched_profile_ids:
@@ -187,7 +195,7 @@ class Broker:
                 profile_id=profile_id,
                 subscriber=subscription.subscriber,
                 broker_id=self.broker_id,
-                delivered_at=self._clock,
+                delivered_at=clock,
                 filter_operations=result.operations,
             )
             self._log.deliver(notification)
@@ -195,6 +203,46 @@ class Broker:
             notifications.append(notification)
         return PublishOutcome(event, False, result, tuple(notifications))
 
+    def publish_batch(self, events: Iterable[Event]) -> list[PublishOutcome]:
+        """Publish a sequence of events through the engine's batch API.
+
+        The batch is atomic with respect to validation: every event is
+        validated before any clock advance, quenching or delivery happens,
+        so an invalid event rejects the whole batch without side effects
+        (per-event :meth:`publish` remains available for pipelines that
+        want to deliver the valid prefix).  The surviving events are then
+        filtered in one
+        :meth:`~repro.service.adaptive.AdaptiveFilterEngine.match_batch`
+        call, which amortises per-event dispatch in the filter component.
+        """
+        materialised = list(events)
+        for event in materialised:
+            event.validate(self._schema, require_all=True)
+        outcomes: list[PublishOutcome | None] = [None] * len(materialised)
+        clocks: list[float] = [0.0] * len(materialised)
+        pending_indices: list[int] = []
+        for index, event in enumerate(materialised):
+            self._clock += 1.0
+            clocks[index] = self._clock
+            if self._quencher is not None and self._quencher.quench(event):
+                self._quenched_events += 1
+                outcomes[index] = PublishOutcome(event, True, None, tuple())
+            elif self._engine is None:
+                outcomes[index] = PublishOutcome(event, False, None, tuple())
+            else:
+                pending_indices.append(index)
+        if pending_indices:
+            results = self.engine.match_batch([materialised[i] for i in pending_indices])
+            for index, result in zip(pending_indices, results):
+                outcomes[index] = self._deliver(materialised[index], result, clocks[index])
+        return [outcome for outcome in outcomes if outcome is not None]
+
     def publish_all(self, events: Iterable[Event]) -> list[PublishOutcome]:
-        """Publish a sequence of events."""
+        """Publish events one by one (streaming semantics).
+
+        Consumes lazily and delivers each valid prefix event even when a
+        later event fails validation, exactly as repeated :meth:`publish`
+        calls would.  Use :meth:`publish_batch` for the atomic, batched
+        filter path.
+        """
         return [self.publish(event) for event in events]

@@ -9,9 +9,9 @@ statistics.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
 
 from repro.core.events import Event
 

@@ -19,14 +19,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.domains import Domain
-from repro.core.predicates import (
-    DontCare,
-    Equals,
-    NotEquals,
-    OneOf,
-    Predicate,
-    RangePredicate,
-)
+from repro.core.predicates import Equals, NotEquals, OneOf, Predicate, RangePredicate
 from repro.core.profiles import Profile
 from repro.core.schema import Schema
 

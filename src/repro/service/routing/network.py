@@ -16,8 +16,8 @@ which is what the ``broker_network`` example uses.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.core.errors import RoutingError
 from repro.core.events import Event

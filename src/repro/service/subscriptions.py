@@ -8,8 +8,8 @@ life-cycle of the service.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.errors import SubscriptionError
 from repro.core.profiles import Profile, ProfileSet

@@ -9,13 +9,13 @@ workloads are fully reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
-from repro.core.domains import ContinuousDomain, DiscreteDomain, Domain, IntegerDomain
+from repro.core.domains import DiscreteDomain, Domain, IntegerDomain
 from repro.core.errors import WorkloadError
 from repro.core.events import Event
-from repro.core.predicates import DONT_CARE, Equals, Predicate, RangePredicate
+from repro.core.predicates import Equals, Predicate, RangePredicate
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.schema import Schema
 from repro.distributions.base import Distribution

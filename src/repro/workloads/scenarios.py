@@ -12,7 +12,7 @@ benchmarks; the figure experiments use purpose-built specs instead.
 
 from __future__ import annotations
 
-from repro.core.domains import ContinuousDomain, DiscreteDomain, IntegerDomain
+from repro.core.domains import DiscreteDomain, IntegerDomain
 from repro.core.schema import Attribute, Schema
 from repro.workloads.spec import AttributeSpec, WorkloadSpec
 

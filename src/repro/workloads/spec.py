@@ -10,8 +10,8 @@ such as "events: defined 39, profiles: gauss" maps one-to-one onto a spec.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import Mapping
 
 from repro.core.errors import WorkloadError
 from repro.core.schema import Schema

@@ -12,11 +12,7 @@ from repro.analysis.cost_model import (
     expected_tree_cost,
     node_gap_probabilities,
 )
-from repro.distributions.discrete import (
-    DiscreteDistribution,
-    peaked_discrete,
-    uniform_discrete,
-)
+from repro.distributions.discrete import DiscreteDistribution, uniform_discrete
 from repro.matching.tree.builder import build_tree
 from repro.matching.tree.config import SearchStrategy, TreeConfiguration, ValueOrder
 

@@ -11,7 +11,6 @@ import random
 import pytest
 
 from repro.analysis.cost_model import expected_tree_cost
-from repro.core.events import Event
 from repro.distributions.joint import IndependentJointDistribution
 from repro.experiments.harness import (
     STRATEGY_BINARY,

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.domains import ContinuousDomain, IntegerDomain
+from repro.core.domains import IntegerDomain
 from repro.core.errors import ProfileError
 from repro.core.events import Event
-from repro.core.predicates import DONT_CARE, Equals, RangePredicate
+from repro.core.predicates import Equals, RangePredicate
 from repro.core.profiles import Profile, ProfileSet, profile
 from repro.core.schema import Attribute, Schema
 from repro.workloads.toy import environmental_profiles, environmental_schema, example_event

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.core.domains import IntegerDomain
 from repro.core.intervals import Interval, decompose_intervals
-from repro.core.predicates import Equals, RangePredicate
+from repro.core.predicates import Equals
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.schema import Attribute, Schema
 from repro.core.subranges import build_partition

@@ -4,12 +4,11 @@ import pytest
 
 from repro.core.domains import ContinuousDomain, IntegerDomain
 from repro.core.errors import DistributionError
-from repro.core.predicates import Equals
 from repro.core.profiles import Profile, ProfileSet, profile
 from repro.core.schema import Attribute, Schema
 from repro.core.subranges import build_partition
 from repro.distributions.base import SubrangeDistribution, project_onto_partition
-from repro.distributions.discrete import DiscreteDistribution, uniform_discrete
+from repro.distributions.discrete import uniform_discrete
 from repro.distributions.library import (
     available_named_distributions,
     defined_distribution,

@@ -1,6 +1,5 @@
 """Tests for the experiment harness and figure reporting."""
 
-import math
 
 import pytest
 

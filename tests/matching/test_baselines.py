@@ -1,6 +1,5 @@
 """Tests for the naive and counting baseline matchers."""
 
-import pytest
 
 from repro.core.domains import DiscreteDomain, IntegerDomain
 from repro.core.events import Event

@@ -7,7 +7,7 @@ import pytest
 from repro.core.domains import DiscreteDomain, IntegerDomain
 from repro.core.errors import MatchingError
 from repro.core.events import Event
-from repro.core.predicates import OneOf, RangePredicate
+from repro.core.predicates import RangePredicate
 from repro.core.profiles import ProfileSet, profile
 from repro.core.schema import Attribute, Schema
 from repro.matching.naive import NaiveMatcher

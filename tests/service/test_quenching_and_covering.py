@@ -1,6 +1,5 @@
 """Tests for quenching and the covering relation."""
 
-import pytest
 
 from repro.core.domains import ContinuousDomain, IntegerDomain
 from repro.core.events import Event
