@@ -25,6 +25,7 @@ if _SRC not in sys.path:
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 _OPS_SUMMARY: dict[str, dict[str, float]] = {}
+_CHURN_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -56,13 +57,33 @@ def record_ops():
     return _record
 
 
+@pytest.fixture
+def record_churn():
+    """Record one engine's churn-workload statistics for the summary dump.
+
+    Like ``record_ops`` these are timing-free, deterministic numbers (the
+    matching cost observed while subscriptions churn), so the regression
+    gate can compare them across CI runs.
+    """
+
+    def _record(engine_name: str, statistics, churn_ops: int) -> None:
+        _CHURN_SUMMARY[engine_name] = {
+            "mean_operations_per_event": statistics.average_operations_per_event(),
+            "mean_matches_per_event": statistics.average_matches_per_event(),
+            "events": float(statistics.events),
+            "churn_ops": float(churn_ops),
+        }
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
         target = session.config.getoption("--bench-summary")
     except (ValueError, KeyError):
         return
-    if not target or not _OPS_SUMMARY:
+    if not target or (not _OPS_SUMMARY and not _CHURN_SUMMARY):
         return
     directory = os.path.dirname(target)
     if directory:
@@ -71,6 +92,7 @@ def pytest_sessionfinish(session, exitstatus):
         "metric": "mean comparison operations per event",
         "scenario": "stock ticker (400 profiles, 1500 events)",
         "matchers": dict(sorted(_OPS_SUMMARY.items())),
+        "churn": dict(sorted(_CHURN_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -44,8 +44,11 @@ def test_statically_reordered_tree(benchmark):
     profiles = _profiles()
     optimizer = TreeOptimizer(
         profiles,
-        {"v": peaked_discrete(IntegerDomain(0, 199), peak_fraction=0.05, peak_mass=0.9,
-                              location="high")},
+        {
+            "v": peaked_discrete(
+                IntegerDomain(0, 199), peak_fraction=0.05, peak_mass=0.9, location="high"
+            )
+        },
     )
     matcher = TreeMatcher(
         profiles, optimizer.configuration(value_measure=ValueMeasure.V1_EVENT)

@@ -1,0 +1,168 @@
+"""Subscription-churn benchmark: maintenance cost per churn operation.
+
+The workload the paper cares most about at scale: a broker whose
+subscription population *changes while events flow*.  Each churn step
+unsubscribes one profile, re-subscribes another and publishes a small
+batch of events, exercising the maintenance path of every engine family:
+
+* ``counting`` / ``tree`` — rebuild their shared structures per change;
+* ``index`` — applies postings deltas (dense-id recycling, slab endpoint
+  splicing) and defers replanning;
+* ``auto`` — the adaptive roster entry, churning through whichever family
+  the arbitration currently runs.
+
+Wall-clock per churn op is printed and timed via pytest-benchmark; the
+deterministic matching statistics feed ``BENCH_summary.json`` through the
+``record_churn`` fixture so CI can gate on them without trusting CI
+timing.  The headline regression gate of this module —
+``test_incremental_maintenance_is_3x_faster_than_rebuild`` — asserts the
+tentpole claim: incremental index maintenance beats rebuild-per-change by
+at least 3x (it is orders of magnitude in practice).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.profiles import ProfileSet
+from repro.matching import (
+    CountingMatcher,
+    FilterStatistics,
+    PredicateIndexMatcher,
+    TreeMatcher,
+)
+from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+from repro.workloads import build_workload, stock_ticker_spec
+
+_WORKLOAD = build_workload(stock_ticker_spec(profile_count=300, event_count=400))
+_EVENTS = list(_WORKLOAD.events)
+_PROFILES = list(_WORKLOAD.profiles)
+
+#: Churn script: (steps, events published per step).
+_STEPS = 120
+_PUBLISH_PER_STEP = 3
+
+
+def _fresh_profiles() -> ProfileSet:
+    """A private profile set per run — churn mutates it."""
+    return ProfileSet(_WORKLOAD.schema, _PROFILES)
+
+
+def _churn_run(matcher) -> tuple[FilterStatistics, int]:
+    """Interleave unsubscribe/subscribe churn with publishing.
+
+    Deterministic: victims rotate through the profile list, events cycle
+    through the generated stream.  Returns the matching statistics and the
+    number of churn operations (adds + removes) performed.
+    """
+    statistics = FilterStatistics()
+    rng = random.Random(13)
+    event_index = 0
+    churn_ops = 0
+    for _ in range(_STEPS):
+        victim = _PROFILES[rng.randrange(len(_PROFILES))]
+        matcher.remove_profile(victim.profile_id)
+        matcher.add_profile(victim)
+        churn_ops += 2
+        for _ in range(_PUBLISH_PER_STEP):
+            statistics.record(matcher.match(_EVENTS[event_index % len(_EVENTS)]))
+            event_index += 1
+    return statistics, churn_ops
+
+
+def _wall_clock_per_churn_op(matcher_factory, *, rounds: int = 2) -> float:
+    """Best-of-``rounds`` seconds per churn op (publishing included)."""
+    best = float("inf")
+    for _ in range(rounds):
+        matcher = matcher_factory()
+        start = time.perf_counter()
+        _, churn_ops = _churn_run(matcher)
+        best = min(best, (time.perf_counter() - start) / churn_ops)
+    return best
+
+
+def _engine_factories():
+    return {
+        "counting": lambda: CountingMatcher(_fresh_profiles()),
+        "tree": lambda: TreeMatcher(_fresh_profiles()),
+        "index": lambda: PredicateIndexMatcher(_fresh_profiles()),
+        "auto": lambda: AdaptiveFilterEngine(
+            _fresh_profiles(),
+            policy=AdaptationPolicy(
+                engine="auto", reoptimize_interval=150, warmup_events=100
+            ),
+        ),
+    }
+
+
+@pytest.mark.parametrize("engine_name", ["counting", "tree", "index", "auto"])
+def test_churn_throughput(benchmark, record_churn, engine_name):
+    factory = _engine_factories()[engine_name]
+
+    def run():
+        return _churn_run(factory())
+
+    statistics, churn_ops = benchmark.pedantic(run, rounds=2, iterations=1)
+    record_churn(engine_name, statistics, churn_ops)
+    print(
+        f"\nchurn[{engine_name}]: {statistics.average_operations_per_event():.1f} "
+        f"match ops/event over {churn_ops} churn ops"
+    )
+
+
+def test_churn_engines_agree_on_notifications(record_churn):
+    """All engines deliver identical notifications under churn."""
+    results = {}
+    for name, factory in _engine_factories().items():
+        statistics, churn_ops = _churn_run(factory())
+        results[name] = statistics
+        record_churn(name, statistics, churn_ops)
+    notifications = {name: stats.total_notifications for name, stats in results.items()}
+    assert len(set(notifications.values())) == 1, notifications
+
+
+class _RebuildPerChangeMatcher(PredicateIndexMatcher):
+    """The pre-incremental maintenance strategy: rebuild on every change."""
+
+    def add_profile(self, profile):
+        self.profiles.add(profile)
+        self._rebuild()
+
+    def remove_profile(self, profile_id):
+        from repro.matching.interfaces import remove_profile_strict
+
+        remove_profile_strict(self.profiles, profile_id)
+        self._rebuild()
+
+
+def test_incremental_maintenance_is_3x_faster_than_rebuild(request):
+    """The tentpole churn claim: postings deltas vs rebuild-per-change.
+
+    Skipped in timing-free (``--benchmark-disable``) runs like the CI
+    smoke job, where the deterministic BENCH_summary.json numbers are the
+    regression guard instead.  The observed margin is far beyond the
+    asserted 3x (hundreds of x at this profile count).
+    """
+    if request.config.getoption("benchmark_disable", default=False):
+        pytest.skip("wall-clock gate skipped in timing-free (smoke) runs")
+    incremental = _wall_clock_per_churn_op(lambda: PredicateIndexMatcher(_fresh_profiles()))
+    rebuild = _wall_clock_per_churn_op(lambda: _RebuildPerChangeMatcher(_fresh_profiles()))
+    print(
+        f"\nmaintenance per churn op: incremental={incremental * 1e6:.1f}us "
+        f"rebuild={rebuild * 1e6:.1f}us ({rebuild / incremental:.0f}x)"
+    )
+    assert incremental * 3.0 < rebuild
+
+
+def test_incremental_churn_stays_equivalent():
+    """Correctness guard for the benchmark itself: after the full churn
+    script the incremental matcher equals a fresh build."""
+    matcher = PredicateIndexMatcher(_fresh_profiles())
+    _churn_run(matcher)
+    fresh = PredicateIndexMatcher(ProfileSet(_WORKLOAD.schema, list(matcher.profiles)))
+    for event in _EVENTS[:100]:
+        assert (
+            matcher.match(event).matched_profile_ids
+            == fresh.match(event).matched_profile_ids
+        )

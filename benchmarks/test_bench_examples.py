@@ -20,7 +20,9 @@ def test_example2_value_reordering(benchmark):
     result = benchmark(example2_results)
     print()
     print("Example 2 (temperature attribute, Eq. 2)   paper   measured")
-    print(f"  E(X) event order (V1)                     0.87   {result.event_order.expectation:.4f}")
+    print(
+        f"  E(X) event order (V1)                     0.87   {result.event_order.expectation:.4f}"
+    )
     print(f"  R    event order (V1)                     1.21   {result.event_order.total:.4f}")
     print(f"  E(X) binary search                        1.65   {result.binary.expectation:.4f}")
     print(f"  R    binary search                        1.99   {result.binary.total:.4f}")

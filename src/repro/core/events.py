@@ -8,7 +8,7 @@ and source fields support the service and simulation layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.core.errors import EventError

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.errors import ProfileError
 from repro.core.events import Event
-from repro.core.predicates import DONT_CARE, Equals, Predicate, RangePredicate
+from repro.core.predicates import DONT_CARE, Equals, Predicate
 from repro.core.schema import Schema
 
 __all__ = ["Profile", "ProfileSet", "profile"]

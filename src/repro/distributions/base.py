@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.domains import DiscreteDomain, Domain
+from repro.core.domains import Domain
 from repro.core.errors import DistributionError
 from repro.core.intervals import Interval
 from repro.core.subranges import AttributePartition, Subrange

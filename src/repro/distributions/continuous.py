@@ -130,7 +130,9 @@ class PiecewiseConstantDistribution(Distribution):
 _DEFAULT_BINS = 200
 
 
-def uniform_continuous(domain: Domain, *, bins: int = _DEFAULT_BINS) -> PiecewiseConstantDistribution:
+def uniform_continuous(
+    domain: Domain, *, bins: int = _DEFAULT_BINS
+) -> PiecewiseConstantDistribution:
     """Return the uniform ("equally distributed") density over ``domain``."""
     return PiecewiseConstantDistribution(domain, [1.0] * bins)
 
@@ -172,12 +174,16 @@ def relocated_gaussian_continuous(
     )
 
 
-def falling_continuous(domain: Domain, *, bins: int = _DEFAULT_BINS) -> PiecewiseConstantDistribution:
+def falling_continuous(
+    domain: Domain, *, bins: int = _DEFAULT_BINS
+) -> PiecewiseConstantDistribution:
     """Return a linearly decreasing density over the domain."""
     return PiecewiseConstantDistribution(domain, [float(bins - i) for i in range(bins)])
 
 
-def rising_continuous(domain: Domain, *, bins: int = _DEFAULT_BINS) -> PiecewiseConstantDistribution:
+def rising_continuous(
+    domain: Domain, *, bins: int = _DEFAULT_BINS
+) -> PiecewiseConstantDistribution:
     """Return a linearly increasing density over the domain."""
     return PiecewiseConstantDistribution(domain, [float(i + 1) for i in range(bins)])
 

@@ -11,8 +11,6 @@ inspected, plotted or regression-tested.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.domains import IntegerDomain
 from repro.distributions.library import make_distribution
 from repro.experiments.reporting import FigureRow, FigureTable
@@ -63,7 +61,9 @@ def distribution_profile(
 def figure_3(*, domain_size: int = 100, buckets: int = 10) -> FigureTable:
     """Reproduce Fig. 3 as a table: one row per distribution, one column per
     decile of the normalised attribute domain."""
-    series = tuple(f"{int(100 * b / buckets)}-{int(100 * (b + 1) / buckets)}%" for b in range(buckets))
+    series = tuple(
+        f"{int(100 * b / buckets)}-{int(100 * (b + 1) / buckets)}%" for b in range(buckets)
+    )
     rows = []
     for name in FIG3_DISTRIBUTIONS:
         masses = distribution_profile(name, domain_size=domain_size, buckets=buckets)

@@ -20,7 +20,6 @@ Reproduced qualitative findings:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.domains import IntegerDomain

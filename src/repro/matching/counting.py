@@ -20,7 +20,7 @@ from typing import Iterable
 from repro.core.events import Event
 from repro.core.predicates import Equals, Predicate
 from repro.core.profiles import Profile, ProfileSet
-from repro.matching.interfaces import MatchResult
+from repro.matching.interfaces import MatchResult, remove_profile_strict
 
 __all__ = ["CountingMatcher"]
 
@@ -95,9 +95,25 @@ class CountingMatcher:
         self.profiles.add(profile)
         self._rebuild()
 
+    def add_profiles(self, profiles: Iterable[Profile]) -> None:
+        """Register a batch of profiles with a single rebuild.
+
+        Rebuilds even when a mid-batch add fails, so the index always
+        describes the profile set exactly.
+        """
+        try:
+            for profile in profiles:
+                self.profiles.add(profile)
+        finally:
+            self._rebuild()
+
     def remove_profile(self, profile_id: str) -> None:
-        """Unregister a profile and rebuild the predicate index."""
-        self.profiles.remove(profile_id)
+        """Unregister a profile and rebuild the predicate index.
+
+        Raises :class:`~repro.core.errors.MatchingError` for an unknown
+        profile id (the cross-matcher contract).
+        """
+        remove_profile_strict(self.profiles, profile_id)
         self._rebuild()
 
     # -- matching ---------------------------------------------------------------

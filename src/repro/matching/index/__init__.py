@@ -18,8 +18,8 @@ operator into:
   one ``bisect`` probe over the slab boundaries returns every satisfied
   range entry with exact open/closed-bound semantics,
 * a **scan fallback** (``NotEquals`` and anything without a natural index)
-  — flattened ``(predicate, subscribers)`` tuples inside the matcher,
-  evaluated entry by entry like the counting baseline's general index.
+  — entry objects inside the matcher, evaluated one by one like the
+  counting baseline's general index.
 
 The :class:`IndexPlanner` compares, per attribute, the expected cost of a
 probe (``probe + E[hits]`` under the event distribution ``P_e``, mirroring
@@ -34,6 +34,13 @@ fully-constrained attribute yields no hit.
 hits per profile — never by evaluating profiles one at a time — and offers
 a batch API (:meth:`PredicateIndexMatcher.match_batch`) that amortises
 per-event dispatch for the service layer and the benchmarks.
+
+The matcher counts into a **dense-id core** (integer profile ids from an
+allocator with a free list, preallocated counters reset via a touched
+list) and maintains its buckets **incrementally**: ``add_profile`` /
+``remove_profile`` apply postings deltas — splicing slab endpoints in
+place — instead of rebuilding, with planner recosting deferred to the
+next plan query.  See :mod:`repro.matching.index.matcher` for the layout.
 """
 
 from repro.matching.index.buckets import HashBucket, IntervalBucket

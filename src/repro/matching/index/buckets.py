@@ -21,11 +21,25 @@ a linear scan (one evaluation per distinct entry, like the counting
 baseline's general index); the
 :class:`~repro.matching.index.planner.IndexPlanner` also demotes hash and
 range entries to that scan path when its cost model says a probe would not
-pay off.  The scan path lives inside the matcher as flattened
-``(predicate, subscribers)`` tuples — it needs no bucket structure.
+pay off.  The scan path lives inside the matcher — it needs no bucket
+structure.
 
 Buckets deal in opaque integer entry ids; the matcher owns the mapping from
 entry id to subscribing profiles.
+
+Both bucket kinds support *incremental maintenance* so subscription churn
+never rebuilds a bucket from scratch:
+
+* :meth:`HashBucket.add_entry` / :meth:`HashBucket.discard_entry` edit one
+  value's entry tuple;
+* :meth:`IntervalBucket.add` splices any new endpoints into the sorted
+  boundary list (a :func:`bisect.insort`-style edit that splits the
+  enclosing gap slab into gap/point/gap) and then adds the entry to every
+  covered slab; :meth:`IntervalBucket.remove` deletes the entry from its
+  covered slabs but deliberately leaves the boundaries in place — a stale
+  boundary is semantically invisible (its point cover equals the merged
+  neighbouring gap covers) and is compacted away by the next full rebuild
+  (e.g. a planner-driven replan).
 """
 
 from __future__ import annotations
@@ -56,6 +70,28 @@ class HashBucket:
     def lookup(self, value: object) -> tuple[int, ...]:
         """Return the entry ids satisfied by ``value``."""
         return self._table.get(value, ())
+
+    @property
+    def table(self) -> Mapping[object, tuple[int, ...]]:
+        """Live value-to-entry-ids mapping (the matcher's hot loop probes
+        this directly to skip a method call; treat it as read-only)."""
+        return self._table
+
+    def add_entry(self, value: object, entry_id: int) -> None:
+        """Register ``entry_id`` under ``value`` (incremental maintenance)."""
+        existing = self._table.get(value)
+        self._table[value] = (entry_id,) if existing is None else existing + (entry_id,)
+
+    def discard_entry(self, value: object, entry_id: int) -> None:
+        """Unregister ``entry_id`` from ``value``; drops empty value rows."""
+        existing = self._table.get(value)
+        if existing is None or entry_id not in existing:
+            return
+        remaining = tuple(e for e in existing if e != entry_id)
+        if remaining:
+            self._table[value] = remaining
+        else:
+            del self._table[value]
 
     def __len__(self) -> int:
         return len(self._table)
@@ -120,6 +156,71 @@ class IntervalBucket:
         if position < len(boundaries) and boundaries[position] == value:
             return self._point_cover[position]
         return self._gap_cover[position]
+
+    # -- incremental maintenance ----------------------------------------------
+    def _ensure_boundary(self, value: float) -> None:
+        """Splice ``value`` into the boundary list if it is not one yet.
+
+        Inserting a boundary splits its enclosing gap slab into
+        gap/point/gap.  The new point slab and both gap halves inherit the
+        old gap's cover: the value was strictly inside the open gap, so
+        exactly the intervals covering the gap cover it.
+        """
+        boundaries = self._boundaries
+        position = bisect_left(boundaries, value)
+        if position < len(boundaries) and boundaries[position] == value:
+            return
+        boundaries.insert(position, value)
+        split_cover = self._gap_cover[position]
+        self._point_cover.insert(position, split_cover)
+        self._gap_cover.insert(position + 1, split_cover)
+        self.probe_cost = max(1, len(boundaries).bit_length())
+
+    def _slab_span(self, interval: Interval) -> tuple[int, int]:
+        """Return the first/last covered slab positions of ``interval``.
+
+        Positions follow the sweep numbering of the constructor: ``2j`` is
+        gap ``j`` and ``2i + 1`` is point ``i``.  Both endpoints must
+        already be boundaries.
+        """
+        boundaries = self._boundaries
+        low_index = bisect_left(boundaries, interval.low)
+        high_index = bisect_left(boundaries, interval.high)
+        first = 2 * low_index + 1 if interval.low_closed else 2 * low_index + 2
+        last = 2 * high_index + 1 if interval.high_closed else 2 * high_index
+        return first, last
+
+    def add(self, interval: Interval, entry_id: int) -> None:
+        """Add one range entry in place (incremental maintenance)."""
+        self._ensure_boundary(interval.low)
+        self._ensure_boundary(interval.high)
+        first, last = self._slab_span(interval)
+        point_cover, gap_cover = self._point_cover, self._gap_cover
+        for position in range(first, last + 1):
+            index, is_point = divmod(position, 2)
+            cover = point_cover[index] if is_point else gap_cover[index]
+            updated = tuple(sorted(cover + (entry_id,)))
+            if is_point:
+                point_cover[index] = updated
+            else:
+                gap_cover[index] = updated
+
+    def remove(self, interval: Interval, entry_id: int) -> None:
+        """Remove one range entry from its covered slabs.
+
+        The entry's endpoints stay in the boundary list (see the module
+        docstring); only the covers shrink.
+        """
+        first, last = self._slab_span(interval)
+        point_cover, gap_cover = self._point_cover, self._gap_cover
+        for position in range(first, last + 1):
+            index, is_point = divmod(position, 2)
+            cover = point_cover[index] if is_point else gap_cover[index]
+            updated = tuple(e for e in cover if e != entry_id)
+            if is_point:
+                point_cover[index] = updated
+            else:
+                gap_cover[index] = updated
 
     def __len__(self) -> int:
         return len(self._boundaries)

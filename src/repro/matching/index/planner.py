@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.core.domains import Domain
 from repro.core.errors import ReproError, SelectivityError
+from repro.core.predicates import Equals, OneOf, RangePredicate
 from repro.core.subranges import build_partitions
 from repro.distributions.base import Distribution, project_onto_partition
 from repro.selectivity.attribute_measures import AttributeMeasure, attribute_selectivities
@@ -186,6 +187,68 @@ class IndexPlanner:
             scan_cost=scan_cost,
             entry_count=indexable + scan_entry_count,
         )
+
+    def plan_profiles(self, profiles: "ProfileSet") -> dict[str, AttributePlan]:
+        """Cost every attribute of a profile set *without* building buckets.
+
+        Produces the same numbers :meth:`plan_attribute` yields over built
+        buckets: ``E[hits]`` is the sum over distinct entries of their
+        satisfaction probability, which both the hash table (per-value
+        registration counts) and the slab decomposition (per-slab covers)
+        preserve exactly.  The adaptive ``auto`` engine uses this to
+        estimate the index family's cost while running the tree family,
+        without paying a full index build per re-optimisation.
+        """
+        schema = profiles.schema
+        per_attribute: dict[str, dict] = {}
+        for profile in profiles:
+            for attribute, predicate in profile.predicates.items():
+                if predicate.is_dont_care:
+                    continue
+                per_attribute.setdefault(attribute, {})[predicate] = None
+        plans: dict[str, AttributePlan] = {}
+        for attribute, predicates in per_attribute.items():
+            domain = schema.domain(attribute)
+            hash_entries = 0
+            range_entries = 0
+            scan_entries = 0
+            expected_hits = 0.0
+            boundaries: set[float] = set()
+            for predicate in predicates:
+                if isinstance(predicate, Equals):
+                    hash_entries += 1
+                    expected_hits += self._value_probability(attribute, domain, predicate.value)
+                elif isinstance(predicate, OneOf):
+                    hash_entries += 1
+                    expected_hits += sum(
+                        self._value_probability(attribute, domain, value)
+                        for value in predicate.values
+                    )
+                elif isinstance(predicate, RangePredicate):
+                    range_entries += 1
+                    expected_hits += self._interval_probability(
+                        attribute, domain, predicate.interval
+                    )
+                    boundaries.add(predicate.interval.low)
+                    boundaries.add(predicate.interval.high)
+                else:
+                    scan_entries += 1
+            probe_cost = 0.0
+            if hash_entries:
+                probe_cost += 1.0
+            if range_entries:
+                probe_cost += max(1, len(boundaries).bit_length())
+            indexable = hash_entries + range_entries
+            scan_cost = float(indexable + scan_entries)
+            index_cost = probe_cost + expected_hits + float(scan_entries)
+            plans[attribute] = AttributePlan(
+                attribute=attribute,
+                use_index=indexable > 0 and index_cost < scan_cost,
+                index_cost=index_cost,
+                scan_cost=scan_cost,
+                entry_count=indexable + scan_entries,
+            )
+        return plans
 
     # -- attribute ordering -----------------------------------------------------
     def probe_order(self, profiles: "ProfileSet") -> tuple[str, ...]:

@@ -14,6 +14,12 @@ amortise per-event dispatch (bound-method reuse, index locals), and the
 service layer (:meth:`repro.service.broker.Broker.publish_batch`) builds on
 it.  :func:`match_batch` is the generic helper for matcher-like objects
 that predate the method.
+
+**Maintenance contract.**  :meth:`Matcher.add_profile` registers a profile
+(validating it against the schema and rejecting duplicate ids) and
+:meth:`Matcher.remove_profile` unregisters one; every matcher family
+raises :class:`~repro.core.errors.MatchingError` for an unknown profile id
+on removal, so callers can rely on one exception type across families.
 """
 
 from __future__ import annotations
@@ -21,10 +27,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro.core.errors import MatchingError, ProfileError
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
 
-__all__ = ["MatchResult", "Matcher", "match_all", "match_batch"]
+__all__ = ["MatchResult", "Matcher", "match_all", "match_batch", "remove_profile_strict"]
+
+
+def remove_profile_strict(profiles: ProfileSet, profile_id: str) -> Profile:
+    """Remove a profile under the cross-matcher maintenance contract.
+
+    Translates the profile set's :class:`~repro.core.errors.ProfileError`
+    into the :class:`~repro.core.errors.MatchingError` every matcher
+    family raises for an unknown profile id — the contract lives here so
+    the families cannot drift apart.
+    """
+    try:
+        return profiles.remove(profile_id)
+    except ProfileError as exc:
+        raise MatchingError(f"unknown profile id {profile_id!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -76,6 +97,11 @@ class Matcher(Protocol):
 
     def add_profile(self, profile: Profile) -> None:
         """Register an additional profile (rebuilding indexes as needed)."""
+        ...
+
+    def add_profiles(self, profiles: Iterable[Profile]) -> None:
+        """Register a batch of profiles (one rebuild where the family
+        rebuilds; per-profile deltas where maintenance is incremental)."""
         ...
 
     def remove_profile(self, profile_id: str) -> None:

@@ -14,7 +14,7 @@ from typing import Iterable
 
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
-from repro.matching.interfaces import MatchResult
+from repro.matching.interfaces import MatchResult, remove_profile_strict
 
 __all__ = ["NaiveMatcher"]
 
@@ -34,9 +34,18 @@ class NaiveMatcher:
         """Register an additional profile."""
         self.profiles.add(profile)
 
+    def add_profiles(self, profiles: Iterable[Profile]) -> None:
+        """Register a batch of profiles."""
+        for profile in profiles:
+            self.profiles.add(profile)
+
     def remove_profile(self, profile_id: str) -> None:
-        """Unregister a profile."""
-        self.profiles.remove(profile_id)
+        """Unregister a profile.
+
+        Raises :class:`~repro.core.errors.MatchingError` for an unknown
+        profile id (the cross-matcher contract).
+        """
+        remove_profile_strict(self.profiles, profile_id)
 
     def match(self, event: Event) -> MatchResult:
         """Filter one event by scanning all profiles."""

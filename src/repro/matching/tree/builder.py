@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.errors import TreeConstructionError
-from repro.core.profiles import Profile, ProfileSet
+from repro.core.profiles import ProfileSet
 from repro.core.schema import Schema
 from repro.core.subranges import AttributePartition, build_partitions
 from repro.matching.tree.config import TreeConfiguration

@@ -152,7 +152,9 @@ class TreeConfiguration:
             )
         return order
 
-    def with_attribute_order(self, names: Sequence[str], *, label: str | None = None) -> "TreeConfiguration":
+    def with_attribute_order(
+        self, names: Sequence[str], *, label: str | None = None
+    ) -> "TreeConfiguration":
         """Return a copy with a different attribute (level) order."""
         return replace(
             self,

@@ -17,7 +17,7 @@ from repro.core.errors import MatchingError
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.subranges import AttributePartition
-from repro.matching.interfaces import MatchResult
+from repro.matching.interfaces import MatchResult, remove_profile_strict
 from repro.matching.tree.builder import ProfileTree, build_tree
 from repro.matching.tree.config import TreeConfiguration
 from repro.matching.tree.nodes import TreeLeaf, TreeNode
@@ -67,9 +67,25 @@ class TreeMatcher:
         self.profiles.add(profile)
         self._rebuild_after_profile_change()
 
+    def add_profiles(self, profiles: Iterable[Profile]) -> None:
+        """Register a batch of profiles with a single tree rebuild.
+
+        Rebuilds even when a mid-batch add fails, so the tree always
+        describes the profile set exactly.
+        """
+        try:
+            for profile in profiles:
+                self.profiles.add(profile)
+        finally:
+            self._rebuild_after_profile_change()
+
     def remove_profile(self, profile_id: str) -> None:
-        """Unregister a profile and rebuild the tree."""
-        self.profiles.remove(profile_id)
+        """Unregister a profile and rebuild the tree.
+
+        Raises :class:`~repro.core.errors.MatchingError` for an unknown
+        profile id (the cross-matcher contract).
+        """
+        remove_profile_strict(self.profiles, profile_id)
         self._rebuild_after_profile_change()
 
     def _rebuild_after_profile_change(self) -> None:
@@ -94,6 +110,30 @@ class TreeMatcher:
             self.profiles, configuration, partitions=dict(self._tree.partitions)
         )
         self._configuration = configuration
+
+    def adopt(self, tree: ProfileTree, configuration: TreeConfiguration) -> None:
+        """Install an externally built tree without rebuilding.
+
+        The caller guarantees ``tree`` was built from this matcher's
+        profile set under ``configuration`` — the adaptive engine uses
+        this to reuse the candidate tree it already built for costing.
+        """
+        self._tree = tree
+        self._configuration = configuration
+
+    @classmethod
+    def from_built(
+        cls,
+        profiles: ProfileSet,
+        tree: ProfileTree,
+        configuration: TreeConfiguration,
+    ) -> "TreeMatcher":
+        """Wrap an already-built tree (same contract as :meth:`adopt`)."""
+        matcher = cls.__new__(cls)
+        matcher.profiles = profiles
+        matcher._configuration = configuration
+        matcher._tree = tree
+        return matcher
 
     # -- matching ----------------------------------------------------------------------
     def match(self, event: Event) -> MatchResult:

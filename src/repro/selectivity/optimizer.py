@@ -10,7 +10,6 @@ rebuilt with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.core.errors import SelectivityError
@@ -46,7 +45,9 @@ class TreeOptimizer:
     ) -> None:
         self._profiles = profiles
         self._schema = profiles.schema
-        self._partitions = dict(partitions) if partitions is not None else build_partitions(profiles)
+        self._partitions = (
+            dict(partitions) if partitions is not None else build_partitions(profiles)
+        )
         missing = [name for name in self._schema.names if name not in event_distributions]
         if missing:
             raise SelectivityError(f"missing event distributions for attributes {missing}")

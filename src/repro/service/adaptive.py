@@ -6,20 +6,28 @@ maintain a history of events in order to determine the event distribution";
 Section 1 promises "an adaptive filter component that optimizes the profile
 tree for certain applications based on the data distributions".
 
-:class:`AdaptiveFilterEngine` wraps a
-:class:`~repro.matching.tree.matcher.TreeMatcher` and
+:class:`AdaptiveFilterEngine` wraps one matcher from its roster (``tree``,
+``index`` or ``auto`` — see :data:`ENGINES`) and
 
 * records every filtered event in a bounded
   :class:`~repro.distributions.estimation.EventHistory`,
 * periodically (every ``reoptimize_interval`` events) estimates the current
   per-attribute event distributions from the history,
-* derives a candidate configuration from the configured value/attribute
-  measures via the :class:`~repro.selectivity.optimizer.TreeOptimizer`, and
-* restructures the tree when the analytical model predicts at least
-  ``improvement_threshold`` relative improvement over the current
-  configuration (restructuring has a cost, so marginal gains are ignored —
-  the paper recommends reordering only "for systems with stable
+* derives a candidate from the configured value/attribute measures — a
+  tree configuration via the
+  :class:`~repro.selectivity.optimizer.TreeOptimizer`, an index plan via
+  the :class:`~repro.matching.index.planner.IndexPlanner`, or (``auto``)
+  the cheaper of both families under the shared comparison-count cost
+  currency, and
+* restructures/replans/switches when the analytical model predicts at
+  least ``improvement_threshold`` relative improvement over the current
+  matcher (restructuring has a cost, so marginal gains are ignored — the
+  paper recommends reordering only "for systems with stable
   distributions").
+
+Profile maintenance delegates to the wrapped matcher's incremental
+``add_profile`` / ``remove_profile``, so subscription churn keeps the
+history and adaptation state alive (the broker relies on this).
 """
 
 from __future__ import annotations
@@ -28,14 +36,16 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.analysis.cost_model import expected_tree_cost
-from repro.core.errors import ServiceError
+from repro.core.errors import ReproError, ServiceError
 from repro.core.events import Event
+from repro.core.subranges import build_partitions
 from repro.core.profiles import Profile, ProfileSet
 from repro.distributions.base import Distribution
 from repro.distributions.estimation import EventHistory
 from repro.matching.index.matcher import PredicateIndexMatcher
 from repro.matching.index.planner import IndexPlanner
 from repro.matching.interfaces import MatchResult
+from repro.matching.tree.builder import build_tree
 from repro.matching.tree.config import SearchStrategy, TreeConfiguration
 from repro.matching.tree.matcher import TreeMatcher
 from repro.selectivity.attribute_measures import AttributeMeasure
@@ -45,7 +55,9 @@ from repro.selectivity.value_measures import ValueMeasure
 __all__ = ["AdaptationPolicy", "AdaptationRecord", "AdaptiveFilterEngine"]
 
 #: Matcher roster of the adaptive engine: policy.engine selects one.
-ENGINES = ("tree", "index")
+#: ``"auto"`` arbitrates between the tree and index families at every
+#: re-optimisation (see :meth:`AdaptiveFilterEngine._consider_auto`).
+ENGINES = ("tree", "index", "auto")
 
 
 @dataclass(frozen=True)
@@ -69,16 +81,23 @@ class AdaptationPolicy:
     #: Length of the sliding event history window.
     history_length: int = 10_000
     #: Which matcher the engine drives: ``"tree"`` (the paper's profile
-    #: tree, restructured via the TreeOptimizer) or ``"index"`` (the
-    #: predicate-index matcher, replanned via the IndexPlanner).
+    #: tree, restructured via the TreeOptimizer), ``"index"`` (the
+    #: predicate-index matcher, replanned via the IndexPlanner) or
+    #: ``"auto"`` (starts on the index matcher and, at every
+    #: re-optimisation, switches to whichever family the cost models
+    #: predict to be cheaper under the current history distributions).
     engine: str = "tree"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ServiceError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
-        if self.engine == "index" and self.attribute_measure not in IndexPlanner.SUPPORTED_MEASURES:
+        if (
+            self.engine in ("index", "auto")
+            and self.attribute_measure not in IndexPlanner.SUPPORTED_MEASURES
+        ):
             raise ServiceError(
-                f"the index engine cannot rank by measure {self.attribute_measure.value!r}; "
+                f"the {self.engine} engine cannot rank by measure "
+                f"{self.attribute_measure.value!r}; "
                 f"supported: {[m.value for m in IndexPlanner.SUPPORTED_MEASURES]}"
             )
         if self.reoptimize_interval <= 0:
@@ -100,6 +119,11 @@ class AdaptationRecord:
     predicted_candidate: float
     applied: bool
     configuration_label: str
+    #: Matcher family the decision selected: ``"tree"`` or ``"index"``.
+    #: For the fixed engines this is simply the engine itself; for
+    #: ``engine="auto"`` it exposes which family the arbitration chose
+    #: (``applied`` says whether a switch/restructure actually happened).
+    engine: str = ""
 
     @property
     def predicted_improvement(self) -> float:
@@ -122,10 +146,12 @@ class AdaptiveFilterEngine:
         self.policy = policy or AdaptationPolicy()
         self.profiles = profiles
         self._matcher: TreeMatcher | PredicateIndexMatcher
-        if self.policy.engine == "index":
+        if self.policy.engine in ("index", "auto"):
             # ``initial_configuration``, value_measure and search are
             # tree-shape knobs with no index analogue; the attribute
-            # measure transfers and drives the probe order.
+            # measure transfers and drives the probe order.  ``auto``
+            # starts on the index matcher (the cheaper build) and lets the
+            # first re-optimisation arbitrate the families from history.
             self._matcher = PredicateIndexMatcher(
                 profiles,
                 planner=IndexPlanner(attribute_measure=self.policy.attribute_measure),
@@ -161,6 +187,15 @@ class AdaptiveFilterEngine:
     def add_profile(self, profile: Profile) -> None:
         """Register a profile (delegates to the matcher)."""
         self._matcher.add_profile(profile)
+
+    def add_profiles(self, profiles: Iterable[Profile]) -> None:
+        """Register a batch of profiles via the matcher's batch path.
+
+        One structure rebuild for the rebuild-style families (tree,
+        counting) instead of one per profile; the index family applies its
+        per-profile postings deltas either way.
+        """
+        self._matcher.add_profiles(profiles)
 
     def remove_profile(self, profile_id: str) -> None:
         """Unregister a profile (delegates to the matcher)."""
@@ -213,34 +248,25 @@ class AdaptiveFilterEngine:
             distributions = self.estimated_event_distributions()
         except ServiceError:
             return
+        if self.policy.engine == "auto":
+            self._consider_auto(distributions)
+            return
         if isinstance(self._matcher, PredicateIndexMatcher):
             self._consider_index_replan(distributions)
             return
-        optimizer = TreeOptimizer(
-            self.profiles,
-            distributions,
-            partitions=dict(self._matcher.partitions()),
+        candidate, candidate_tree, predicted_candidate = self._tree_candidate(
+            distributions, self._matcher.partitions()
         )
-        candidate = optimizer.configuration(
-            value_measure=self.policy.value_measure,
-            attribute_measure=self.policy.attribute_measure,
-            search=self.policy.search,
-        )
-        from repro.matching.tree.builder import build_tree
-
-        candidate_tree = build_tree(
-            self.profiles, candidate, partitions=dict(self._matcher.partitions())
-        )
-        current_cost = expected_tree_cost(self._matcher.tree, distributions)
-        candidate_cost = expected_tree_cost(candidate_tree, distributions)
-        predicted_current = current_cost.operations_per_event
-        predicted_candidate = candidate_cost.operations_per_event
+        predicted_current = expected_tree_cost(
+            self._matcher.tree, distributions
+        ).operations_per_event
         improvement = (
             1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
         )
         applied = improvement >= self.policy.improvement_threshold
         if applied:
-            self._matcher.reconfigure(candidate)
+            # Install the tree already built for costing — no second build.
+            self._matcher.adopt(candidate_tree, candidate)
         self._adaptations.append(
             AdaptationRecord(
                 event_count=self._events_filtered,
@@ -248,8 +274,28 @@ class AdaptiveFilterEngine:
                 predicted_candidate=predicted_candidate,
                 applied=applied,
                 configuration_label=candidate.label,
+                engine="tree",
             )
         )
+
+    def _tree_candidate(self, distributions, partitions):
+        """Cost the optimizer's candidate tree under ``distributions``.
+
+        Shared by the pure-tree path and the ``auto`` arbitration so both
+        use one costing recipe.  Returns ``(configuration, tree,
+        operations_per_event)``; the built tree is returned so an applied
+        decision can adopt it instead of rebuilding.
+        """
+        partitions = dict(partitions)
+        optimizer = TreeOptimizer(self.profiles, distributions, partitions=partitions)
+        candidate = optimizer.configuration(
+            value_measure=self.policy.value_measure,
+            attribute_measure=self.policy.attribute_measure,
+            search=self.policy.search,
+        )
+        candidate_tree = build_tree(self.profiles, candidate, partitions=partitions)
+        cost = expected_tree_cost(candidate_tree, distributions).operations_per_event
+        return candidate, candidate_tree, cost
 
     def _consider_index_replan(self, distributions: Mapping[str, Distribution]) -> None:
         """Index-engine variant: replan the buckets from the history.
@@ -294,5 +340,103 @@ class AdaptiveFilterEngine:
                 predicted_candidate=predicted_candidate,
                 applied=applied,
                 configuration_label=f"index[{indexed} indexed, P_e estimated]",
+                engine="index",
+            )
+        )
+
+    def _consider_auto(self, distributions: Mapping[str, Distribution]) -> None:
+        """Arbitrate between the matcher families (``engine="auto"``).
+
+        The decision rule: cost the best candidate of *each* family in the
+        paper's common currency (expected comparison operations per event)
+        under the current history distributions — the index side through
+        the :class:`~repro.matching.index.planner.IndexPlanner` estimate,
+        the tree side through
+        :func:`repro.analysis.cost_model.expected_tree_cost` of the
+        :class:`~repro.selectivity.optimizer.TreeOptimizer`'s candidate
+        configuration — and adopt the cheaper family when it improves on
+        the current matcher's predicted cost by at least
+        ``improvement_threshold``.  The chosen family is exposed as
+        :attr:`AdaptationRecord.engine`.
+
+        Caveat inherited from the cost models: both sides count comparison
+        steps, but the counting family charges nothing for its counter
+        bookkeeping (see the baselines benchmark), so the arbitration is
+        biased the same way the paper's operation metric is.
+        """
+        matcher = self._matcher
+        measure = self.policy.attribute_measure
+
+        # Index-family candidate, costed without building anything: a cheap
+        # recost of the live buckets when the index is already running, the
+        # bucket-free :meth:`IndexPlanner.plan_profiles` estimate otherwise.
+        # The candidate matcher itself is only built if the decision is
+        # applied.
+        if isinstance(matcher, PredicateIndexMatcher):
+            recosted = matcher.recost_plans(distributions)
+            index_cost = sum(plan.chosen_cost for plan in recosted.values())
+            predicted_current = matcher.estimated_cost(distributions)
+        else:
+            index_plans = IndexPlanner(
+                distributions, attribute_measure=measure
+            ).plan_profiles(self.profiles)
+            index_cost = sum(plan.chosen_cost for plan in index_plans.values())
+            predicted_current = expected_tree_cost(
+                matcher.tree, distributions
+            ).operations_per_event
+
+        # Tree-family candidate: the optimizer's configuration under the
+        # same distributions (one recipe with the pure-tree path, see
+        # :meth:`_tree_candidate`).  Workloads the tree model cannot
+        # express (partition construction fails) leave the tree side at
+        # +inf.
+        tree_cost = float("inf")
+        candidate_config = None
+        candidate_tree = None
+        try:
+            if isinstance(matcher, TreeMatcher):
+                partitions = matcher.partitions()
+            else:
+                partitions = build_partitions(self.profiles)
+            candidate_config, candidate_tree, tree_cost = self._tree_candidate(
+                distributions, partitions
+            )
+        except ReproError:
+            pass
+
+        if index_cost <= tree_cost:
+            chosen, predicted_candidate = "index", index_cost
+            label = "auto:index[P_e estimated]"
+        else:
+            chosen, predicted_candidate = "tree", tree_cost
+            label = f"auto:tree[{candidate_config.label}]"
+        improvement = (
+            1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
+        )
+        applied = improvement >= self.policy.improvement_threshold
+        if applied:
+            if chosen == "index":
+                if isinstance(matcher, PredicateIndexMatcher):
+                    matcher.replan(distributions)
+                else:
+                    self._matcher = PredicateIndexMatcher(
+                        self.profiles,
+                        planner=IndexPlanner(distributions, attribute_measure=measure),
+                    )
+            elif isinstance(matcher, TreeMatcher):
+                # Install the tree already built for costing.
+                matcher.adopt(candidate_tree, candidate_config)
+            else:
+                self._matcher = TreeMatcher.from_built(
+                    self.profiles, candidate_tree, candidate_config
+                )
+        self._adaptations.append(
+            AdaptationRecord(
+                event_count=self._events_filtered,
+                predicted_current=predicted_current,
+                predicted_candidate=predicted_candidate,
+                applied=applied,
+                configuration_label=label,
+                engine=chosen,
             )
         )

@@ -1,12 +1,17 @@
 """A single event-notification broker.
 
 The broker is the operational wrapper around the filter component: it
-manages subscriptions, filters published events with either a plain
-:class:`~repro.matching.tree.matcher.TreeMatcher` or the
-:class:`~repro.service.adaptive.AdaptiveFilterEngine`, delivers
-notifications to subscriber sinks, keeps the service-level statistics
-(operations per event / per profile, the metrics of Fig. 5) and optionally
-applies publisher-side quenching.
+manages subscriptions, filters published events through the
+:class:`~repro.service.adaptive.AdaptiveFilterEngine` (whose roster offers
+the tree, index and auto engines), delivers notifications to subscriber
+sinks, keeps the service-level statistics (operations per event / per
+profile, the metrics of Fig. 5) and optionally applies publisher-side
+quenching.
+
+Subscription churn is incremental: subscribe/unsubscribe flow through the
+engine's profile maintenance (postings deltas on the index family), so the
+filter structures, the event history and the adaptation state all survive
+churn; only the first subscription builds an engine.
 """
 
 from __future__ import annotations
@@ -80,13 +85,9 @@ class Broker:
         self._quencher: Quencher | None = Quencher(self._profiles) if enable_quenching else None
         self._quenched_events = 0
         self._clock = 0.0
-        self._rebuild_engine()
 
     # -- engine management --------------------------------------------------------
-    def _rebuild_engine(self) -> None:
-        if len(self._profiles) == 0:
-            self._engine = None
-            return
+    def _make_engine(self) -> None:
         policy = self._adaptation_policy or AdaptationPolicy()
         if self._engine_choice is not None and policy.engine != self._engine_choice:
             policy = replace(policy, engine=self._engine_choice)
@@ -100,8 +101,39 @@ class Broker:
             policy=policy,
             initial_configuration=self._configuration,
         )
+
+    def _attach_profile(self, profile: Profile) -> None:
+        """Wire one new profile into the live filter component.
+
+        Subscription churn is *incremental*: an existing engine absorbs
+        the profile through the matcher's own maintenance (postings deltas
+        for the index family), keeping its event history and adaptation
+        state; the engine is only ever built from scratch for the first
+        subscription.
+        """
+        if self._engine is None:
+            self._profiles.add(profile)
+            self._make_engine()
+        else:
+            # The engine's matcher shares self._profiles and registers the
+            # profile there itself.
+            self._engine.add_profile(profile)
         if self._quencher is not None:
-            self._quencher = Quencher(self._profiles)
+            self._quencher.refresh()
+
+    def _detach_profile(self, profile_id: str) -> None:
+        """Remove one profile from the live filter component incrementally."""
+        if self._engine is not None:
+            self._engine.remove_profile(profile_id)
+            if len(self._profiles) == 0:
+                # Keep the historical contract: a broker without
+                # subscriptions has no engine (publishing delivers nothing
+                # and records no filter statistics).
+                self._engine = None
+        else:
+            self._profiles.remove(profile_id)
+        if self._quencher is not None:
+            self._quencher.refresh()
 
     # -- subscription management -----------------------------------------------------
     @property
@@ -143,29 +175,47 @@ class Broker:
         *,
         sink: NotificationSink | None = None,
     ) -> Subscription:
-        """Register a subscription and rebuild the filter component."""
+        """Register a subscription and update the filter incrementally."""
         subscription = self._registry.subscribe(profile, subscriber, sink=sink)
-        self._profiles = self._registry.profile_set()
-        self._rebuild_engine()
+        self._attach_profile(profile)
         return subscription
 
     def subscribe_all(
         self, profiles: Iterable[Profile], subscriber: str = "anonymous"
     ) -> list[Subscription]:
-        """Register many subscriptions at once (single rebuild)."""
-        subscriptions = [
-            self._registry.subscribe(profile, profile.subscriber or subscriber)
-            for profile in profiles
-        ]
-        self._profiles = self._registry.profile_set()
-        self._rebuild_engine()
+        """Register many subscriptions at once (single engine build).
+
+        Atomic with respect to registration: if any profile fails to
+        register (validation, duplicate id — including duplicates within
+        the batch), the already-registered prefix is rolled back before
+        the error propagates, so the registry never desyncs from the
+        filter engine.
+        """
+        subscriptions: list[Subscription] = []
+        try:
+            for profile in profiles:
+                subscriptions.append(
+                    self._registry.subscribe(profile, profile.subscriber or subscriber)
+                )
+        except Exception:
+            for subscription in subscriptions:
+                self._registry.unsubscribe(subscription.subscription_id)
+            raise
+        if self._engine is None:
+            for subscription in subscriptions:
+                self._profiles.add(subscription.profile)
+            if len(self._profiles) > 0:
+                self._make_engine()
+        elif subscriptions:
+            self._engine.add_profiles([s.profile for s in subscriptions])
+        if self._quencher is not None:
+            self._quencher.refresh()
         return subscriptions
 
     def unsubscribe(self, subscription_id: str) -> Subscription:
-        """Remove a subscription and rebuild the filter component."""
+        """Remove a subscription and update the filter incrementally."""
         subscription = self._registry.unsubscribe(subscription_id)
-        self._profiles = self._registry.profile_set()
-        self._rebuild_engine()
+        self._detach_profile(subscription.profile.profile_id)
         return subscription
 
     # -- publishing --------------------------------------------------------------------

@@ -102,7 +102,9 @@ class WorkloadSpec:
             updated[name] = replace(
                 spec,
                 event_distribution=events if events is not None else spec.event_distribution,
-                profile_distribution=profiles if profiles is not None else spec.profile_distribution,
+                profile_distribution=(
+                    profiles if profiles is not None else spec.profile_distribution
+                ),
             )
         return replace(self, attributes=updated)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.core.domains import ContinuousDomain
 from repro.core.events import Event
-from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.profiles import ProfileSet, profile
 from repro.core.predicates import RangePredicate
 from repro.core.schema import Attribute, Schema
 from repro.distributions.base import Distribution
@@ -107,7 +107,9 @@ def example_event() -> Event:
     return Event({TEMPERATURE: 30.0, HUMIDITY: 90.0, RADIATION: 2.0})
 
 
-def _piecewise(domain: ContinuousDomain, segments: list[tuple[float, float, float]]) -> Distribution:
+def _piecewise(
+    domain: ContinuousDomain, segments: list[tuple[float, float, float]]
+) -> Distribution:
     """Build a piecewise-constant distribution from (low, high, mass) segments.
 
     The segments must tile the domain; unit-width bins are used so every

@@ -136,7 +136,10 @@ class TestExpectedTreeCost:
             schema, [profile("P1", a=1, b=2), profile("P2", a=3), profile("P3", b=7)]
         )
         tree = build_tree(profiles)
-        dists = {"a": uniform_discrete(IntegerDomain(0, 9)), "b": uniform_discrete(IntegerDomain(0, 9))}
+        dists = {
+            "a": uniform_discrete(IntegerDomain(0, 9)),
+            "b": uniform_discrete(IntegerDomain(0, 9)),
+        }
         cost = expected_tree_cost(tree, dists)
         assert sum(cost.per_level) == pytest.approx(cost.operations_per_event)
         assert len(cost.per_level) == 2

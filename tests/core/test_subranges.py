@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.domains import DiscreteDomain, IntegerDomain
 from repro.core.predicates import OneOf, RangePredicate
-from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.profiles import ProfileSet, profile
 from repro.core.schema import Attribute, Schema
 from repro.core.subranges import build_partition, build_partitions
 from repro.workloads.toy import environmental_profiles

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.domains import ContinuousDomain, IntegerDomain
 from repro.core.errors import DistributionError
-from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.profiles import ProfileSet, profile
 from repro.core.schema import Attribute, Schema
 from repro.core.subranges import build_partition
 from repro.distributions.base import SubrangeDistribution, project_onto_partition

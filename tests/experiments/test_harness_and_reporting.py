@@ -37,7 +37,9 @@ class TestHarness:
             assert evaluation.statistics is None
 
     def test_event_reordering_wins_on_peaked_distributions(self):
-        evaluations = {e.strategy.name: e for e in evaluate_analytically(small_workload(), STRATEGIES)}
+        evaluations = {
+            e.strategy.name: e for e in evaluate_analytically(small_workload(), STRATEGIES)
+        }
         assert (
             evaluations[STRATEGY_EVENT.name].operations_per_event
             <= evaluations[STRATEGY_NATURAL.name].operations_per_event

@@ -182,6 +182,30 @@ class TestIndexPlanner:
         with pytest.raises(SelectivityError):
             IndexPlanner(attribute_measure=AttributeMeasure.A3_CONDITIONAL)
 
+    def test_plan_profiles_matches_bucket_based_costing(self):
+        """The bucket-free estimator must reproduce the built-bucket plan.
+
+        ``engine="auto"`` relies on this equivalence to cost the index
+        family without building it.
+        """
+        from repro.matching.index import PredicateIndexMatcher
+        from repro.workloads import build_workload, stock_ticker_spec
+
+        workload = build_workload(stock_ticker_spec(profile_count=120, event_count=10))
+        planner = IndexPlanner(dict(workload.event_distributions))
+        estimated = planner.plan_profiles(workload.profiles)
+        built = PredicateIndexMatcher(
+            workload.profiles,
+            planner=IndexPlanner(dict(workload.event_distributions)),
+        ).plan
+        assert set(estimated) == set(built.attributes)
+        for attribute, plan in estimated.items():
+            exact = built.plan_for(attribute)
+            assert plan.use_index == exact.use_index
+            assert plan.entry_count == exact.entry_count
+            assert plan.index_cost == pytest.approx(exact.index_cost)
+            assert plan.scan_cost == pytest.approx(exact.scan_cost)
+
     def test_natural_measure_keeps_schema_order(self):
         from repro.core.predicates import Equals
         from repro.core.profiles import Profile, ProfileSet

@@ -6,8 +6,6 @@ exactly the same set of matching profiles for every event, under every
 search strategy and any value ordering.
 """
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,8 +7,11 @@ import pytest
 from repro.core.domains import IntegerDomain
 from repro.core.errors import ServiceError
 from repro.core.events import Event
-from repro.core.profiles import ProfileSet, profile
+from repro.core.predicates import Equals, RangePredicate
+from repro.core.profiles import Profile, ProfileSet, profile
 from repro.core.schema import Attribute, Schema
+from repro.matching import NaiveMatcher, PredicateIndexMatcher, TreeMatcher
+from repro.matching.tree.config import SearchStrategy
 from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
 from repro.selectivity.value_measures import ValueMeasure
 
@@ -109,8 +112,9 @@ class TestAdaptiveFilterEngine:
     def test_history_window_is_bounded(self):
         engine = AdaptiveFilterEngine(
             single_attribute_profiles(),
-            policy=AdaptationPolicy(history_length=50, reoptimize_interval=10**9,
-                                    warmup_events=10**9),
+            policy=AdaptationPolicy(
+                history_length=50, reoptimize_interval=10**9, warmup_events=10**9
+            ),
         )
         for event in peaked_events(200):
             engine.match(event)
@@ -127,3 +131,91 @@ class TestAdaptiveFilterEngine:
         assert engine.match(Event({"v": 33})).is_match
         engine.remove_profile("extra")
         assert not engine.match(Event({"v": 33})).is_match
+
+
+class TestAutoEngine:
+    """The ``engine="auto"`` roster entry: tree-vs-index arbitration."""
+
+    @staticmethod
+    def sparse_equality_profiles() -> ProfileSet:
+        """Distinct rare equalities: one hash probe beats any tree walk."""
+        schema = Schema([Attribute("v", IntegerDomain(0, 999))])
+        return ProfileSet(
+            schema, [Profile(f"P{i}", {"v": Equals(i * 37 % 1000)}) for i in range(60)]
+        )
+
+    @staticmethod
+    def broad_range_profiles() -> ProfileSet:
+        """Nested broad ranges: nearly every entry hits on every event, so
+        the index pays E[hits] ~ p while the (binary-searched) tree walks
+        one short root-to-leaf path."""
+        schema = Schema([Attribute("v", IntegerDomain(0, 999))])
+        return ProfileSet(
+            schema,
+            [
+                Profile(f"R{i}", {"v": RangePredicate.between(i * 5, 999 - i * 5)})
+                for i in range(60)
+            ],
+        )
+
+    @staticmethod
+    def run(engine: AdaptiveFilterEngine, events) -> None:
+        oracle = NaiveMatcher(ProfileSet(engine.profiles.schema, list(engine.profiles)))
+        for event in events:
+            assert (
+                engine.match(event).matched_profile_ids
+                == oracle.match(event).matched_profile_ids
+            )
+
+    def auto_policy(self, **kwargs) -> AdaptationPolicy:
+        return AdaptationPolicy(
+            engine="auto", reoptimize_interval=150, warmup_events=100, **kwargs
+        )
+
+    def test_auto_selects_index_for_sparse_equalities(self):
+        rng = random.Random(1)
+        events = [Event({"v": rng.randint(0, 999)}) for _ in range(600)]
+        engine = AdaptiveFilterEngine(
+            self.sparse_equality_profiles(), policy=self.auto_policy()
+        )
+        self.run(engine, events)
+        records = engine.adaptations()
+        assert records, "auto never arbitrated"
+        assert all(record.engine == "index" for record in records)
+        assert isinstance(engine.matcher, PredicateIndexMatcher)
+
+    def test_auto_selects_tree_for_broad_ranges(self):
+        rng = random.Random(2)
+        events = [Event({"v": rng.randint(300, 700)}) for _ in range(600)]
+        engine = AdaptiveFilterEngine(
+            self.broad_range_profiles(),
+            policy=self.auto_policy(search=SearchStrategy.BINARY),
+        )
+        self.run(engine, events)
+        records = engine.adaptations()
+        assert any(record.engine == "tree" and record.applied for record in records)
+        assert isinstance(engine.matcher, TreeMatcher)
+        # The switch was predicted to pay off under the common cost currency.
+        switch = next(r for r in records if r.engine == "tree" and r.applied)
+        assert switch.predicted_candidate < switch.predicted_current
+
+    def test_auto_switch_preserves_matching_semantics_both_ways(self):
+        """Drive one engine through tree territory and keep checking the
+        oracle; maintenance keeps working on whichever family is active."""
+        rng = random.Random(3)
+        engine = AdaptiveFilterEngine(
+            self.broad_range_profiles(),
+            policy=self.auto_policy(search=SearchStrategy.BINARY),
+        )
+        self.run(engine, [Event({"v": rng.randint(300, 700)}) for _ in range(400)])
+        assert isinstance(engine.matcher, TreeMatcher)
+        engine.add_profile(Profile("late", {"v": Equals(500)}))
+        assert "late" in engine.match(Event({"v": 500}))
+        engine.remove_profile("late")
+        assert "late" not in engine.match(Event({"v": 500}))
+
+    def test_auto_policy_validates_measures_like_index(self):
+        from repro.selectivity import AttributeMeasure
+
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(engine="auto", attribute_measure=AttributeMeasure.A3_CONDITIONAL)

@@ -147,3 +147,95 @@ class TestBroker:
         broker = self.toy_broker()
         with pytest.raises(Exception):
             broker.publish(Event({"temperature": 10}))
+
+
+class TestIncrementalSubscriptionChurn:
+    """Subscribe/unsubscribe go through the matcher's incremental
+    maintenance — the filter engine object (and its history) survives."""
+
+    def test_engine_survives_subscription_churn(self):
+        broker = Broker(environmental_schema(), engine="index")
+        first = broker.subscribe(
+            profile("hot", temperature=RangePredicate.at_least(30)), "alice"
+        )
+        engine_before = broker.engine
+        broker.publish(example_event())
+        second = broker.subscribe(
+            profile("humid", humidity=RangePredicate.at_least(80)), "bob"
+        )
+        broker.unsubscribe(first.subscription_id)
+        assert broker.engine is engine_before
+        # History kept: the engine saw the pre-churn event.
+        assert len(broker.engine.history) == 1
+        outcome = broker.publish(example_event())
+        assert [n.profile_id for n in outcome.notifications] == ["humid"]
+        broker.unsubscribe(second.subscription_id)
+        # Contract: with no subscriptions left there is no engine.
+        with pytest.raises(ServiceError):
+            broker.engine
+
+    @pytest.mark.parametrize("engine", ["tree", "index", "auto"])
+    def test_churned_broker_matches_fresh_broker(self, engine):
+        churned = Broker(environmental_schema(), engine=engine)
+        doomed = [
+            churned.subscribe(profile(f"tmp-{i}", temperature=i * 4), "t")
+            for i in range(5)
+        ]
+        for item in environmental_profiles():
+            churned.subscribe(item, subscriber=f"user-{item.profile_id}")
+        for subscription in doomed:
+            churned.unsubscribe(subscription.subscription_id)
+
+        fresh = Broker(environmental_schema(), engine=engine)
+        for item in environmental_profiles():
+            fresh.subscribe(item, subscriber=f"user-{item.profile_id}")
+
+        events = [
+            example_event(),
+            Event({"temperature": 40, "humidity": 95, "radiation": 40}),
+            Event({"temperature": 0, "humidity": 50, "radiation": 10}),
+            Event({"temperature": 16, "humidity": 80, "radiation": 1}),
+        ]
+        for event in events:
+            a = churned.publish(event)
+            b = fresh.publish(event)
+            assert (
+                a.match_result.matched_profile_ids == b.match_result.matched_profile_ids
+            )
+
+    def test_failed_subscribe_all_rolls_back_registry(self):
+        broker = Broker(environmental_schema())
+        keeper = broker.subscribe(
+            profile("keep", temperature=RangePredicate.at_least(30)), "alice"
+        )
+        batch = [
+            profile("new-1", humidity=RangePredicate.at_least(80)),
+            profile("keep", temperature=RangePredicate.at_least(10)),  # duplicate id
+        ]
+        with pytest.raises(SubscriptionError):
+            broker.subscribe_all(batch)
+        # The partial batch was rolled back: registry and engine agree.
+        assert len(broker.subscriptions) == 1
+        assert broker.publish(example_event()).delivered == 1
+        broker.unsubscribe(keeper.subscription_id)
+        assert broker.publish(example_event()).delivered == 0
+
+    def test_quenching_tracks_churn(self):
+        broker = Broker(environmental_schema(), enable_quenching=True)
+        subscription = broker.subscribe(
+            profile(
+                "alarm",
+                temperature=RangePredicate.at_least(45),
+                humidity=RangePredicate.at_least(90),
+                radiation=RangePredicate.at_least(90),
+            ),
+            "ops",
+        )
+        cold = Event({"temperature": 0, "humidity": 95, "radiation": 95})
+        assert broker.publish(cold).quenched
+        broker.subscribe(profile("cold", temperature=RangePredicate.at_most(5)), "ops")
+        # The quencher's coverage must have been refreshed incrementally.
+        assert not broker.publish(cold).quenched
+        broker.unsubscribe(subscription.subscription_id)
+        hot_only = Event({"temperature": 50, "humidity": 0, "radiation": 1})
+        assert broker.publish(hot_only).quenched

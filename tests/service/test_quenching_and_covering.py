@@ -1,10 +1,9 @@
 """Tests for quenching and the covering relation."""
 
-
 from repro.core.domains import ContinuousDomain, IntegerDomain
 from repro.core.events import Event
 from repro.core.predicates import DONT_CARE, Equals, NotEquals, OneOf, RangePredicate
-from repro.core.profiles import Profile, ProfileSet, profile
+from repro.core.profiles import ProfileSet, profile
 from repro.core.schema import Attribute, Schema
 from repro.service.quenching import Quencher
 from repro.service.routing.covering import minimal_cover, predicate_covers, profile_covers
