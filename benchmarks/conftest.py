@@ -26,6 +26,7 @@ OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 _OPS_SUMMARY: dict[str, dict[str, float]] = {}
 _CHURN_SUMMARY: dict[str, dict[str, float]] = {}
+_BATCH_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -77,13 +78,36 @@ def record_churn():
     return _record
 
 
+@pytest.fixture
+def record_batch():
+    """Record one batch-kernel scenario for the summary dump.
+
+    Besides the deterministic charged metrics, callers may pass extra
+    keys — e.g. the kernel's executed ops/event and ``dedup_factor``
+    (deterministic, gateable) or ``wall_clock_seconds`` (timing runs
+    only, gated by ``compare_to_baseline.py`` solely when both summaries
+    carry it).
+    """
+
+    def _record(scenario_name: str, statistics, **extra: float) -> None:
+        entry = {
+            "mean_operations_per_event": statistics.average_operations_per_event(),
+            "mean_matches_per_event": statistics.average_matches_per_event(),
+            "events": float(statistics.events),
+        }
+        entry.update(extra)
+        _BATCH_SUMMARY[scenario_name] = entry
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
         target = session.config.getoption("--bench-summary")
     except (ValueError, KeyError):
         return
-    if not target or (not _OPS_SUMMARY and not _CHURN_SUMMARY):
+    if not target or (not _OPS_SUMMARY and not _CHURN_SUMMARY and not _BATCH_SUMMARY):
         return
     directory = os.path.dirname(target)
     if directory:
@@ -93,6 +117,7 @@ def pytest_sessionfinish(session, exitstatus):
         "scenario": "stock ticker (400 profiles, 1500 events)",
         "matchers": dict(sorted(_OPS_SUMMARY.items())),
         "churn": dict(sorted(_CHURN_SUMMARY.items())),
+        "batch": dict(sorted(_BATCH_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -36,10 +36,14 @@ never rebuilds a bucket from scratch:
   boundary list (a :func:`bisect.insort`-style edit that splits the
   enclosing gap slab into gap/point/gap) and then adds the entry to every
   covered slab; :meth:`IntervalBucket.remove` deletes the entry from its
-  covered slabs but deliberately leaves the boundaries in place — a stale
+  covered slabs but normally leaves the boundaries in place — a stale
   boundary is semantically invisible (its point cover equals the merged
-  neighbouring gap covers) and is compacted away by the next full rebuild
-  (e.g. a planner-driven replan).
+  neighbouring gap covers).  The bucket tracks per-endpoint reference
+  counts, and once more than :data:`STALE_COMPACTION_FRACTION` of the
+  boundaries are dead, :meth:`IntervalBucket.remove` compacts in place —
+  dropping the dead boundaries and merging their (provably equal) slab
+  covers — so heavy churn cannot grow the slab structure without bound
+  between full rebuilds (a planner-driven replan still compacts too).
 """
 
 from __future__ import annotations
@@ -50,7 +54,12 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.intervals import Interval
 
-__all__ = ["HashBucket", "IntervalBucket"]
+__all__ = ["HashBucket", "IntervalBucket", "STALE_COMPACTION_FRACTION"]
+
+#: When removals leave more than this fraction of an interval bucket's
+#: boundaries without any live referencing endpoint, :meth:`IntervalBucket.remove`
+#: compacts the slab structure in place instead of waiting for a replan.
+STALE_COMPACTION_FRACTION = 0.5
 
 
 class HashBucket:
@@ -111,11 +120,26 @@ class IntervalBucket:
     its endpoint's point slab only when that side is closed.
     """
 
-    __slots__ = ("_boundaries", "_point_cover", "_gap_cover", "probe_cost")
+    __slots__ = (
+        "_boundaries",
+        "_point_cover",
+        "_gap_cover",
+        "_endpoint_refs",
+        "_stale_boundaries",
+        "probe_cost",
+    )
 
     def __init__(self, items: Sequence[tuple[Interval, int]]) -> None:
         boundaries = sorted({b for interval, _ in items for b in (interval.low, interval.high)})
         self._boundaries = boundaries
+        #: Live endpoint reference counts per boundary value; a boundary
+        #: whose count drops to zero is *stale* (see ``remove``).
+        refs: dict[float, int] = {}
+        for interval, _ in items:
+            refs[interval.low] = refs.get(interval.low, 0) + 1
+            refs[interval.high] = refs.get(interval.high, 0) + 1
+        self._endpoint_refs = refs
+        self._stale_boundaries = 0
         # One sweep over the slab sequence gap_0, point_0, gap_1, ...,
         # point_{n-1}, gap_n (slab position 2j for gap j, 2i+1 for point i)
         # builds every cover in O(k log k): each interval covers a single
@@ -158,23 +182,38 @@ class IntervalBucket:
         return self._gap_cover[position]
 
     # -- incremental maintenance ----------------------------------------------
-    def _ensure_boundary(self, value: float) -> None:
+    def _ensure_boundary(self, value: float) -> bool:
         """Splice ``value`` into the boundary list if it is not one yet.
 
         Inserting a boundary splits its enclosing gap slab into
         gap/point/gap.  The new point slab and both gap halves inherit the
         old gap's cover: the value was strictly inside the open gap, so
-        exactly the intervals covering the gap cover it.
+        exactly the intervals covering the gap cover it.  Returns whether
+        the boundary was freshly inserted.
         """
         boundaries = self._boundaries
         position = bisect_left(boundaries, value)
         if position < len(boundaries) and boundaries[position] == value:
-            return
+            return False
         boundaries.insert(position, value)
         split_cover = self._gap_cover[position]
         self._point_cover.insert(position, split_cover)
         self._gap_cover.insert(position + 1, split_cover)
         self.probe_cost = max(1, len(boundaries).bit_length())
+        return True
+
+    def _register_endpoint(self, value: float) -> None:
+        """Ensure ``value`` is a boundary and count one live endpoint on it.
+
+        Bumping a pre-existing boundary whose reference count had dropped
+        to zero revives a stale boundary.
+        """
+        inserted = self._ensure_boundary(value)
+        refs = self._endpoint_refs
+        count = refs.get(value, 0)
+        refs[value] = count + 1
+        if not inserted and count == 0:
+            self._stale_boundaries -= 1
 
     def _slab_span(self, interval: Interval) -> tuple[int, int]:
         """Return the first/last covered slab positions of ``interval``.
@@ -192,8 +231,8 @@ class IntervalBucket:
 
     def add(self, interval: Interval, entry_id: int) -> None:
         """Add one range entry in place (incremental maintenance)."""
-        self._ensure_boundary(interval.low)
-        self._ensure_boundary(interval.high)
+        self._register_endpoint(interval.low)
+        self._register_endpoint(interval.high)
         first, last = self._slab_span(interval)
         point_cover, gap_cover = self._point_cover, self._gap_cover
         for position in range(first, last + 1):
@@ -208,8 +247,11 @@ class IntervalBucket:
     def remove(self, interval: Interval, entry_id: int) -> None:
         """Remove one range entry from its covered slabs.
 
-        The entry's endpoints stay in the boundary list (see the module
-        docstring); only the covers shrink.
+        The entry's endpoints usually stay in the boundary list (a stale
+        boundary is semantically invisible); once more than
+        :data:`STALE_COMPACTION_FRACTION` of the boundaries are stale the
+        slab structure is compacted in place, so heavy churn keeps the
+        probe depth and slab count proportional to the *live* entries.
         """
         first, last = self._slab_span(interval)
         point_cover, gap_cover = self._point_cover, self._gap_cover
@@ -221,6 +263,46 @@ class IntervalBucket:
                 point_cover[index] = updated
             else:
                 gap_cover[index] = updated
+        refs = self._endpoint_refs
+        for value in (interval.low, interval.high):
+            count = refs.get(value, 0) - 1
+            if count > 0:
+                refs[value] = count
+            elif count == 0:
+                refs[value] = 0
+                self._stale_boundaries += 1
+        if self._stale_boundaries > STALE_COMPACTION_FRACTION * len(self._boundaries):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every stale boundary and merge its slabs in place.
+
+        A stale boundary carries no live endpoint, so every live interval
+        covering any of its three adjacent slabs (gap, point, gap) covers
+        all of them — the covers are equal and collapse into one gap slab
+        without changing any lookup result.
+        """
+        refs = self._endpoint_refs
+        boundaries = self._boundaries
+        point_cover, gap_cover = self._point_cover, self._gap_cover
+        kept_boundaries: list[float] = []
+        kept_points: list[tuple[int, ...]] = []
+        kept_gaps: list[tuple[int, ...]] = [gap_cover[0]]
+        for index, value in enumerate(boundaries):
+            if refs.get(value, 0) > 0:
+                kept_boundaries.append(value)
+                kept_points.append(point_cover[index])
+                kept_gaps.append(gap_cover[index + 1])
+            else:
+                # Stale: its point cover equals both neighbouring gap
+                # covers, so skipping the boundary keeps the (identical)
+                # gap already recorded.
+                refs.pop(value, None)
+        self._boundaries = kept_boundaries
+        self._point_cover = kept_points
+        self._gap_cover = kept_gaps
+        self._stale_boundaries = 0
+        self.probe_cost = max(1, len(kept_boundaries).bit_length())
 
     def __len__(self) -> int:
         return len(self._boundaries)

@@ -65,6 +65,7 @@ from repro.core.events import Event
 from repro.core.predicates import Equals, OneOf, Predicate, RangePredicate
 from repro.core.profiles import Profile, ProfileSet
 from repro.distributions.base import Distribution
+from repro.matching.index import kernel
 from repro.matching.index.buckets import HashBucket, IntervalBucket
 from repro.matching.index.planner import AttributePlan, IndexPlan, IndexPlanner
 from repro.matching.interfaces import MatchResult
@@ -101,8 +102,11 @@ class _AttributeState:
 
     ``posting_cache`` maps an entry-id tuple (a hash-bucket hit or a slab
     cover) to its flattened ``(dense-id tuple, entry count)`` posting slab.
-    Maintenance rebinds the cache to ``{}``; the hot loop re-flattens each
-    distinct tuple once on its next probe.
+    ``np_posting_cache`` memoises the same slabs (plus per-scan-entry
+    postings, keyed by the bare entry id) as contiguous numpy arrays for
+    the columnar batch kernel (:mod:`repro.matching.index.kernel`).
+    Maintenance rebinds both caches to ``{}``; the hot loops re-flatten
+    each distinct tuple once on its next probe.
     """
 
     __slots__ = (
@@ -121,6 +125,7 @@ class _AttributeState:
         "constraining",
         "reject_fast",
         "posting_cache",
+        "np_posting_cache",
     )
 
     def __init__(self) -> None:
@@ -153,6 +158,7 @@ class _AttributeState:
         #: changes (see ``_refresh_reject_flags``).
         self.reject_fast = False
         self.posting_cache: dict[tuple[int, ...], tuple[tuple[int, ...], int]] = {}
+        self.np_posting_cache: dict[object, object] = {}
 
     def refresh_view(self) -> None:
         """Recompile the probe view after a strategy or bucket change.
@@ -359,6 +365,7 @@ class PredicateIndexMatcher:
             entry.postings.append(dense)
             state.constraining += 1
             state.posting_cache = {}
+            state.np_posting_cache = {}
         self._set_required(dense, constrained)
         schema = self.profiles.schema
         for attribute in new_attributes:
@@ -446,6 +453,7 @@ class PredicateIndexMatcher:
                 self._drop_entry(state, predicate, entry)
             state.constraining -= 1
             state.posting_cache = {}
+            state.np_posting_cache = {}
         del self._id_of[profile_id]
         self._pid_of[dense] = None
         if self._required[dense] == 0:
@@ -666,7 +674,19 @@ class PredicateIndexMatcher:
         )
 
     def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
-        """Filter a sequence of events with amortised dispatch."""
+        """Filter a sequence of events, batch-size-aware.
+
+        Batches of at least :data:`~repro.matching.index.kernel.MIN_COLUMNAR_BATCH`
+        events run through the columnar batch kernel
+        (:func:`~repro.matching.index.kernel.match_batch_columnar`):
+        cache-aware scheduling, per-column probe dedup and — with numpy
+        available — vectorized slab counting.  Smaller batches keep the
+        per-event loop, whose fixed overhead is lower.  Both paths return
+        exactly what sequential :meth:`match` calls would.
+        """
+        events = events if isinstance(events, list) else list(events)
+        if len(events) >= kernel.MIN_COLUMNAR_BATCH:
+            return kernel.match_batch_columnar(self, events)
         match = self.match
         return [match(event) for event in events]
 

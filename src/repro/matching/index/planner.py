@@ -82,6 +82,18 @@ class IndexPlan:
         """Return the planner's predicted comparisons per event."""
         return sum(plan.chosen_cost for plan in self.attributes.values())
 
+    @property
+    def schedule_attribute(self) -> str | None:
+        """Return the highest-rejection-power attribute (or ``None``).
+
+        This is the first probe-order entry — the attribute most likely to
+        reject an event outright — and the sort key the columnar batch
+        kernel (:mod:`repro.matching.index.kernel`) schedules a batch by
+        so that events sharing a probe value hit the same posting slabs
+        back-to-back.
+        """
+        return self.probe_order[0] if self.probe_order else None
+
     def plan_for(self, attribute: str) -> AttributePlan | None:
         return self.attributes.get(attribute)
 
@@ -251,19 +263,22 @@ class IndexPlanner:
         return plans
 
     # -- attribute ordering -----------------------------------------------------
-    def probe_order(self, profiles: "ProfileSet") -> tuple[str, ...]:
-        """Return the attribute probe order, most selective first.
+    def rejection_scores(self, profiles: "ProfileSet") -> dict[str, float]:
+        """Return the per-attribute rejection power under the configured measure.
 
-        Ranks by the configured ``attribute_measure``: Measure A2
-        (zero-subdomain size weighted by its event probability) when the
-        event distributions are available, degrading to Measure A1
-        (relative zero-subdomain size) without them; ``NATURAL`` keeps the
-        schema order.  Ties keep the schema order.
+        Higher scores mean an event value is more likely to satisfy *no*
+        entry of the attribute: Measure A2 (zero-subdomain size weighted
+        by its event probability) when the event distributions are
+        available, degrading to Measure A1 (relative zero-subdomain size)
+        without them.  Returns ``{}`` for ``NATURAL`` (no ranking) and for
+        workloads the partition builder cannot model — callers fall back
+        to schema order either way.  Besides driving :meth:`probe_order`,
+        the scores pick the batch-scheduling attribute of the columnar
+        kernel (see :attr:`IndexPlan.schedule_attribute`).
         """
-        names = list(profiles.schema.names)
         measure = self.attribute_measure
         if measure is AttributeMeasure.NATURAL:
-            return tuple(names)
+            return {}
         try:
             partitions = build_partitions(profiles)
             projected = None
@@ -276,13 +291,26 @@ class IndexPlanner:
                 if len(candidate) == len(partitions):
                     projected = candidate
             if projected is not None:
-                scores = attribute_selectivities(measure, partitions, projected)
-            else:
-                scores = attribute_selectivities(AttributeMeasure.A1_ZERO_FRACTION, partitions)
+                return dict(attribute_selectivities(measure, partitions, projected))
+            return dict(
+                attribute_selectivities(AttributeMeasure.A1_ZERO_FRACTION, partitions)
+            )
         except ReproError:
             # Selectivity scoring is an optimisation, not a correctness
             # requirement: workloads the partition builder cannot model
             # (e.g. exotic predicate mixes) fall back to schema order.
+            return {}
+
+    def probe_order(self, profiles: "ProfileSet") -> tuple[str, ...]:
+        """Return the attribute probe order, most selective first.
+
+        Ranks by :meth:`rejection_scores`; ``NATURAL``, unknown attributes
+        and unmodellable workloads keep the schema order.  Ties keep the
+        schema order.
+        """
+        names = list(profiles.schema.names)
+        scores = self.rejection_scores(profiles)
+        if not scores:
             return tuple(names)
         position = {name: index for index, name in enumerate(names)}
         return tuple(sorted(names, key=lambda n: (-scores.get(n, 0.0), position[n])))

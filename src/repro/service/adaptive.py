@@ -87,6 +87,14 @@ class AdaptationPolicy:
     #: re-optimisation, switches to whichever family the cost models
     #: predict to be cheaper under the current history distributions).
     engine: str = "tree"
+    #: Hysteresis of the ``auto`` arbitration: after an applied
+    #: tree<->index family switch, further switches are suppressed for
+    #: this many re-optimisation checks, so an alternating workload does
+    #: not thrash expensive family rebuilds every interval.  Suppressed
+    #: decisions are still recorded (``AdaptationRecord.suppressed``);
+    #: same-family restructures/replans are never held back.  ``0``
+    #: disables the cooldown.
+    switch_cooldown_intervals: int = 2
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -108,6 +116,8 @@ class AdaptationPolicy:
             raise ServiceError("improvement_threshold must lie in [0, 1)")
         if self.history_length <= 0:
             raise ServiceError("history_length must be positive")
+        if self.switch_cooldown_intervals < 0:
+            raise ServiceError("switch_cooldown_intervals must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -124,6 +134,10 @@ class AdaptationRecord:
     #: ``engine="auto"`` it exposes which family the arbitration chose
     #: (``applied`` says whether a switch/restructure actually happened).
     engine: str = ""
+    #: ``True`` when the arbitration *wanted* to switch matcher families
+    #: but the switch cooldown held it back (``applied`` is then False);
+    #: see :attr:`AdaptationPolicy.switch_cooldown_intervals`.
+    suppressed: bool = False
 
     @property
     def predicted_improvement(self) -> float:
@@ -162,6 +176,9 @@ class AdaptiveFilterEngine:
         self._events_filtered = 0
         self._events_at_last_check = 0
         self._adaptations: list[AdaptationRecord] = []
+        #: Re-optimisation checks left before the auto arbitration may
+        #: switch matcher families again (hysteresis).
+        self._switch_cooldown = 0
 
     # -- delegation ---------------------------------------------------------------
     @property
@@ -214,12 +231,38 @@ class AdaptiveFilterEngine:
     def match_batch(self, events: Iterable[Event]) -> list[MatchResult]:
         """Filter a sequence of events with the same re-optimisation cadence.
 
-        Equivalent to calling :meth:`match` per event (re-optimisation may
+        Equivalent to calling :meth:`match` per event — re-optimisation may
         restructure the matcher mid-batch, exactly as in the sequential
-        path), with the per-event dispatch amortised.
+        path — but the events *between* two re-optimisation points are
+        forwarded in one :meth:`Matcher.match_batch` call, so large batches
+        (e.g. from :meth:`repro.service.broker.Broker.publish_batch`) reach
+        the index family's columnar kernel
+        (:mod:`repro.matching.index.kernel`) instead of degrading to the
+        per-event loop.  Chunking at the next due re-optimisation keeps
+        the cadence exact: within a chunk no check could fire anyway.
         """
-        match = self.match
-        return [match(event) for event in events]
+        events = events if isinstance(events, list) else list(events)
+        results: list[MatchResult] = []
+        position = 0
+        while position < len(events):
+            # The next check can only fire once the filtered-event count
+            # reaches both the warmup and the interval since the last
+            # check, so everything before that point is one safe chunk.
+            next_due = max(
+                self.policy.warmup_events,
+                self._events_at_last_check + self.policy.reoptimize_interval,
+            )
+            take = max(1, next_due - self._events_filtered)
+            chunk = events[position : position + take]
+            results.extend(self._matcher.match_batch(chunk))
+            observe = self._history.observe
+            for event in chunk:
+                observe(event)
+            self._events_filtered += len(chunk)
+            if self._reoptimisation_due():
+                self._consider_reoptimisation()
+            position += len(chunk)
+        return results
 
     def _reoptimisation_due(self) -> bool:
         if self._events_filtered < self.policy.warmup_events:
@@ -363,9 +406,22 @@ class AdaptiveFilterEngine:
         steps, but the counting family charges nothing for its counter
         bookkeeping (see the baselines benchmark), so the arbitration is
         biased the same way the paper's operation metric is.
+
+        **Hysteresis.**  An applied family switch arms a cooldown of
+        :attr:`AdaptationPolicy.switch_cooldown_intervals` further checks
+        during which another switch is suppressed (recorded with
+        ``suppressed=True``), so a workload oscillating around the
+        cost-model break-even point does not rebuild a family per
+        interval.  Same-family improvements (an index replan or a tree
+        restructure) stay available throughout.
         """
         matcher = self._matcher
         measure = self.policy.attribute_measure
+        cooldown_active = self._switch_cooldown > 0
+        if cooldown_active:
+            # This check elapses one cooldown interval (but is itself
+            # still suppressed: arming N suppresses exactly N checks).
+            self._switch_cooldown -= 1
 
         # Index-family candidate, costed without building anything: a cheap
         # recost of the live buckets when the index is already running, the
@@ -414,6 +470,12 @@ class AdaptiveFilterEngine:
             1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
         )
         applied = improvement >= self.policy.improvement_threshold
+        current_family = "index" if isinstance(matcher, PredicateIndexMatcher) else "tree"
+        is_switch = chosen != current_family
+        suppressed = False
+        if applied and is_switch and cooldown_active:
+            applied = False
+            suppressed = True
         if applied:
             if chosen == "index":
                 if isinstance(matcher, PredicateIndexMatcher):
@@ -430,6 +492,8 @@ class AdaptiveFilterEngine:
                 self._matcher = TreeMatcher.from_built(
                     self.profiles, candidate_tree, candidate_config
                 )
+            if is_switch:
+                self._switch_cooldown = self.policy.switch_cooldown_intervals
         self._adaptations.append(
             AdaptationRecord(
                 event_count=self._events_filtered,
@@ -438,5 +502,6 @@ class AdaptiveFilterEngine:
                 applied=applied,
                 configuration_label=label,
                 engine=chosen,
+                suppressed=suppressed,
             )
         )

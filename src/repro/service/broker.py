@@ -263,7 +263,11 @@ class Broker:
         want to deliver the valid prefix).  The surviving events are then
         filtered in one
         :meth:`~repro.service.adaptive.AdaptiveFilterEngine.match_batch`
-        call, which amortises per-event dispatch in the filter component.
+        call; on the index family large batches reach the columnar batch
+        kernel (:mod:`repro.matching.index.kernel`) — cache-aware event
+        scheduling, per-batch probe dedup, vectorized posting-slab
+        counting — so this is the publishing entry point for
+        heavy-traffic pipelines.
         """
         materialised = list(events)
         for event in materialised:

@@ -11,6 +11,7 @@ from repro.workloads.scenarios import (
     facility_management_spec,
     single_attribute_spec,
     stock_ticker_spec,
+    wide_range_spec,
 )
 from repro.workloads.spec import AttributeSpec, WorkloadSpec
 from repro.workloads.toy import (
@@ -37,4 +38,5 @@ __all__ = [
     "generate_profiles",
     "single_attribute_spec",
     "stock_ticker_spec",
+    "wide_range_spec",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "environmental_monitoring_spec",
     "facility_management_spec",
     "single_attribute_spec",
+    "wide_range_spec",
 ]
 
 
@@ -147,6 +148,50 @@ def facility_management_spec(
     }
     return WorkloadSpec(
         name="facility",
+        schema=schema,
+        attributes=attributes,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )
+
+
+def wide_range_spec(
+    *, profile_count: int = 1500, event_count: int = 1024, seed: int = 29
+) -> WorkloadSpec:
+    """Return the wide-range scenario (hit-heavy threshold monitoring).
+
+    A fleet of regional monitors subscribes to *broad* metric bands —
+    every profile constrains a large range (half the metric domain on
+    average) plus its region, so a typical event satisfies hundreds of
+    range entries while only the ~1/32 of them in the matching region
+    deliver.  This is the counting-bound antipode of the stock ticker's
+    reject-heavy profile mix: per-event cost is dominated by bumping one
+    counter per satisfied posting, which is exactly the workload the
+    columnar batch kernel's vectorized counting targets
+    (:mod:`repro.matching.index.kernel`).
+    """
+    schema = Schema(
+        [
+            Attribute("metric", IntegerDomain(0, 9999), description="monitored reading"),
+            Attribute(
+                "region",
+                DiscreteDomain([f"r{i:02d}" for i in range(32)]),
+                description="reporting region",
+            ),
+        ]
+    )
+    attributes = {
+        "metric": AttributeSpec(
+            event_distribution="equal",
+            profile_distribution="equal",
+            predicate="range",
+            range_width_fraction=0.5,
+        ),
+        "region": AttributeSpec(event_distribution="equal", profile_distribution="equal"),
+    }
+    return WorkloadSpec(
+        name="wide-range",
         schema=schema,
         attributes=attributes,
         profile_count=profile_count,

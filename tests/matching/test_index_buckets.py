@@ -124,6 +124,59 @@ class TestIntervalBucket:
         assert big.probe_cost <= 9
 
 
+class TestIntervalBucketCompaction:
+    """Removal-driven in-place compaction of stale slab boundaries."""
+
+    def test_heavy_churn_pins_slab_length(self):
+        """The satellite claim: after add/remove churn the boundary list
+        stays proportional to the *live* entries, not the churn history."""
+        bucket = IntervalBucket([(Interval.closed(0, 1), 0)])
+        for entry_id in range(1, 500):
+            interval = Interval.closed(entry_id * 10, entry_id * 10 + 5)
+            bucket.add(interval, entry_id)
+            bucket.remove(interval, entry_id)
+            # One live interval keeps 2 boundaries; churned endpoints must
+            # never accumulate past the stale-fraction threshold.
+            assert len(bucket) <= 5, f"slab grew to {len(bucket)} boundaries"
+        assert bucket.lookup(0.5) == (0,)
+        assert bucket.lookup(15) == ()
+        assert bucket.probe_cost <= 3
+
+    def test_compaction_preserves_lookup_semantics(self):
+        live = [(Interval.closed(0, 10), 0), (Interval.open(5, 15), 1)]
+        bucket = IntervalBucket(live)
+        # Churn enough overlapping entries through the bucket to trigger
+        # several compactions.
+        for entry_id in range(2, 40):
+            interval = Interval.closed_open(entry_id * 0.25, entry_id * 0.25 + 3)
+            bucket.add(interval, entry_id)
+        for entry_id in range(2, 40):
+            interval = Interval.closed_open(entry_id * 0.25, entry_id * 0.25 + 3)
+            bucket.remove(interval, entry_id)
+        fresh = IntervalBucket(live)
+        for value in [x * 0.5 for x in range(-2, 35)]:
+            assert bucket.lookup(value) == fresh.lookup(value), value
+        assert len(bucket) == len(fresh)
+
+    def test_shared_endpoints_stay_until_last_reference(self):
+        shared = [(Interval.closed(0, 10), 0), (Interval.closed(10, 20), 1)]
+        bucket = IntervalBucket(shared)
+        bucket.remove(Interval.closed(0, 10), 0)
+        # Boundary 10 is still referenced by entry 1; lookups stay exact.
+        assert bucket.lookup(10) == (1,)
+        assert bucket.lookup(5) == ()
+        assert bucket.lookup(15) == (1,)
+
+    def test_readding_a_stale_endpoint_revives_it(self):
+        bucket = IntervalBucket([(Interval.closed(0, 10), 0), (Interval.closed(2, 3), 1)])
+        bucket.remove(Interval.closed(2, 3), 1)
+        bucket.add(Interval.closed(2, 3), 2)
+        assert bucket.lookup(2.5) == (0, 2)
+        bucket.remove(Interval.closed(0, 10), 0)
+        assert bucket.lookup(2.5) == (2,)
+        assert bucket.lookup(5) == ()
+
+
 class TestIndexPlanner:
     def test_prefers_index_for_selective_hash_bucket(self):
         domain = DiscreteDomain([f"s{i}" for i in range(50)])
@@ -205,6 +258,22 @@ class TestIndexPlanner:
             assert plan.entry_count == exact.entry_count
             assert plan.index_cost == pytest.approx(exact.index_cost)
             assert plan.scan_cost == pytest.approx(exact.scan_cost)
+
+    def test_rejection_scores_drive_probe_order_and_schedule(self):
+        """The scores are public (the batch kernel schedules by them) and
+        consistent with the probe order / plan's schedule attribute."""
+        from repro.matching.index import PredicateIndexMatcher
+        from repro.workloads import build_workload, stock_ticker_spec
+
+        workload = build_workload(stock_ticker_spec(profile_count=40, event_count=10))
+        planner = IndexPlanner(dict(workload.event_distributions))
+        scores = planner.rejection_scores(workload.profiles)
+        order = planner.probe_order(workload.profiles)
+        assert scores, "A2 scoring produced no rejection scores"
+        assert set(order) == set(workload.schema.names)
+        assert scores[order[0]] == max(scores.values())
+        matcher = PredicateIndexMatcher(workload.profiles, planner=planner)
+        assert matcher.plan.schedule_attribute == order[0]
 
     def test_natural_measure_keeps_schema_order(self):
         from repro.core.predicates import Equals

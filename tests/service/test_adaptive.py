@@ -219,3 +219,167 @@ class TestAutoEngine:
 
         with pytest.raises(ServiceError):
             AdaptationPolicy(engine="auto", attribute_measure=AttributeMeasure.A3_CONDITIONAL)
+
+
+class TestBatchFiltering:
+    """match_batch: chunked forwarding with an exact re-optimisation cadence."""
+
+    @staticmethod
+    def make_engine(**kwargs) -> AdaptiveFilterEngine:
+        policy = AdaptationPolicy(
+            value_measure=ValueMeasure.V1_EVENT,
+            reoptimize_interval=kwargs.pop("reoptimize_interval", 150),
+            warmup_events=kwargs.pop("warmup_events", 100),
+            **kwargs,
+        )
+        return AdaptiveFilterEngine(single_attribute_profiles(), policy=policy)
+
+    @pytest.mark.parametrize("engine_kind", ["tree", "index", "auto"])
+    def test_match_batch_equals_sequential_match(self, engine_kind):
+        events = peaked_events(700)
+        sequential_engine = self.make_engine(engine=engine_kind)
+        batched_engine = self.make_engine(engine=engine_kind)
+        sequential = [sequential_engine.match(event) for event in events]
+        batched = batched_engine.match_batch(events)
+        assert [r.matched_profile_ids for r in batched] == [
+            r.matched_profile_ids for r in sequential
+        ]
+        # The re-optimisation cadence is identical: same checks, fired at
+        # the same filtered-event counts, with the same decisions.
+        assert [
+            (r.event_count, r.engine, r.applied) for r in batched_engine.adaptations()
+        ] == [
+            (r.event_count, r.engine, r.applied) for r in sequential_engine.adaptations()
+        ]
+        assert batched_engine.adaptations(), "the cadence never fired"
+
+    def test_match_batch_in_odd_slices_keeps_cadence(self):
+        events = peaked_events(700)
+        reference = self.make_engine()
+        expected = [reference.match(event).matched_profile_ids for event in events]
+        sliced = self.make_engine()
+        results = []
+        position = 0
+        for size in (37, 1, 260, 150, 252):
+            results.extend(sliced.match_batch(events[position : position + size]))
+            position += size
+        assert [r.matched_profile_ids for r in results] == expected
+        assert [r.event_count for r in sliced.adaptations()] == [
+            r.event_count for r in reference.adaptations()
+        ]
+
+
+class TestAutoSwitchHysteresis:
+    """The switch cooldown: no tree<->index thrash on alternating costs."""
+
+    @staticmethod
+    def drive(engine: AdaptiveFilterEngine, count: int, seed: int = 9) -> None:
+        rng = random.Random(seed)
+        for _ in range(count):
+            engine.match(Event({"v": rng.randint(0, 99)}))
+
+    def make_flipping_engine(self, monkeypatch, *, cooldown: int) -> AdaptiveFilterEngine:
+        """An auto engine whose cost models always favour the *other* family.
+
+        The index side is pinned cheap via patched plan estimates and the
+        tree side pinned cheap/expensive via a patched
+        ``expected_tree_cost`` + candidate cost, so every check predicts a
+        worthwhile switch — the worst case the cooldown exists for.
+        """
+        from types import SimpleNamespace
+
+        from repro.matching.index.planner import AttributePlan
+        from repro.service import adaptive as adaptive_module
+
+        engine = AdaptiveFilterEngine(
+            single_attribute_profiles(),
+            policy=AdaptationPolicy(
+                engine="auto",
+                reoptimize_interval=100,
+                warmup_events=100,
+                improvement_threshold=0.0,
+                switch_cooldown_intervals=cooldown,
+            ),
+        )
+        cheap_plan = {"v": AttributePlan("v", True, 1.0, 2.0, 1)}
+        expensive_plan = {"v": AttributePlan("v", True, 10.0, 12.0, 1)}
+
+        # Whatever family runs is costed expensive while the *other*
+        # family's candidate is costed cheap, so every check predicts a
+        # 10x payoff from switching: while the index runs, its recosted
+        # plans and current estimate are expensive and the tree candidate
+        # is cheap; while the tree runs, its expected cost is expensive
+        # and the bucket-free index estimate is cheap.
+        monkeypatch.setattr(
+            adaptive_module.IndexPlanner,
+            "plan_profiles",
+            lambda self, profiles: dict(cheap_plan),
+        )
+        monkeypatch.setattr(
+            adaptive_module.PredicateIndexMatcher,
+            "recost_plans",
+            lambda self, distributions: dict(expensive_plan),
+        )
+        monkeypatch.setattr(
+            adaptive_module.PredicateIndexMatcher,
+            "estimated_cost",
+            lambda self, distributions=None: 10.0,
+        )
+        monkeypatch.setattr(
+            adaptive_module,
+            "expected_tree_cost",
+            lambda tree, distributions: SimpleNamespace(operations_per_event=10.0),
+        )
+        original = engine._tree_candidate
+
+        def flipping_tree_candidate(distributions, partitions):
+            configuration, tree, _ = original(distributions, partitions)
+            running_index = isinstance(engine.matcher, adaptive_module.PredicateIndexMatcher)
+            return configuration, tree, 1.0 if running_index else 10.0
+
+        engine._tree_candidate = flipping_tree_candidate
+        return engine
+
+    def test_cooldown_suppresses_immediate_switch_back(self, monkeypatch):
+        engine = self.make_flipping_engine(monkeypatch, cooldown=2)
+        self.drive(engine, 400)
+        records = engine.adaptations()
+        assert [(r.engine, r.applied, r.suppressed) for r in records] == [
+            ("tree", True, False),  # first check: switch index -> tree
+            ("index", False, True),  # wants to flip back: cooldown holds it
+            ("index", False, True),  # still cooling down
+            ("index", True, False),  # cooldown elapsed: switch allowed again
+        ]
+        # The suppressed decisions are observable but changed nothing.
+        assert isinstance(engine.matcher, PredicateIndexMatcher)
+
+    def test_zero_cooldown_restores_thrashing(self, monkeypatch):
+        engine = self.make_flipping_engine(monkeypatch, cooldown=0)
+        self.drive(engine, 400)
+        records = engine.adaptations()
+        assert len(records) == 4
+        assert all(r.applied and not r.suppressed for r in records)
+        # Families alternate every check: the thrash the cooldown prevents.
+        assert [r.engine for r in records] == ["tree", "index", "tree", "index"]
+
+    def test_cooldown_does_not_block_same_family_improvements(self):
+        """An index-engine replan is not a family switch; the cooldown
+        never suppresses the fixed engines' decisions."""
+        engine = AdaptiveFilterEngine(
+            single_attribute_profiles(),
+            policy=AdaptationPolicy(
+                engine="index",
+                reoptimize_interval=100,
+                warmup_events=100,
+                improvement_threshold=0.0,
+                switch_cooldown_intervals=5,
+            ),
+        )
+        self.drive(engine, 400)
+        records = engine.adaptations()
+        assert records
+        assert all(not r.suppressed for r in records)
+
+    def test_cooldown_validation(self):
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(switch_cooldown_intervals=-1)

@@ -9,6 +9,7 @@ from repro.workloads.scenarios import (
     facility_management_spec,
     single_attribute_spec,
     stock_ticker_spec,
+    wide_range_spec,
 )
 from repro.workloads.spec import AttributeSpec, WorkloadSpec
 
@@ -107,6 +108,7 @@ class TestScenarios:
             environmental_monitoring_spec(profile_count=30, event_count=30),
             facility_management_spec(profile_count=30, event_count=30),
             single_attribute_spec(profile_count=10, event_count=10),
+            wide_range_spec(profile_count=30, event_count=30),
         ]:
             workload = build_workload(spec)
             assert len(workload.profiles) == spec.profile_count
