@@ -1,77 +1,83 @@
-"""Quickstart: the paper's toy example end to end.
+"""Quickstart: the paper's toy example through the ``repro.api`` facade.
 
-Builds the environmental-monitoring schema and the five profiles P1-P5 of
-Example 1, filters the event of Eq. (1) through the profile tree, prints the
-tree structure (Fig. 1), and then applies the distribution-based reordering
-of Section 4 (Measures V1 + A2) to show the expected-cost improvement.
+Builds the environmental-monitoring schema of Example 1, subscribes the
+five profiles P1-P5 (via the fluent builder where the paper writes
+predicates, via ready-made profiles elsewhere), publishes the event of
+Eq. (1), exercises the durable subscription handles and reads the merged
+service statistics — including the adaptive re-optimisation history the
+service keeps underneath (Section 4).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.analysis import expected_tree_cost
-from repro.matching import TreeMatcher, build_tree
-from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure
-from repro.workloads import (
-    environmental_profiles,
-    environmental_schema,
-    example3_event_distributions,
-    example_event,
-)
+from repro.api import FilterService, where
+from repro.workloads import environmental_profiles, environmental_schema, example_event
 
 
 def main() -> None:
     schema = environmental_schema()
-    profiles = environmental_profiles(schema)
+    service = FilterService(schema)  # engine="auto": the service picks the filter
     print(f"schema: {schema!r}")
-    print(f"profiles: {', '.join(profiles.ids())}")
+    print(f"engines on the roster: {', '.join(service.engines())}")
     print()
 
-    # --- 1. Build the profile tree and match one event -----------------------
-    matcher = TreeMatcher(profiles)
+    # --- 1. Subscribe the five profiles of Example 1 -------------------------
+    handles = service.subscribe_all(list(environmental_profiles(schema)))
+    print(f"subscribed: {', '.join(h.profile.profile_id for h in handles)}")
+
+    # The fluent builder compiles to exactly the same Profile objects the
+    # paper's hand-written predicate mappings produce:
+    alarm = service.subscribe(
+        where("temperature").at_least(40) & where("humidity").between(80, 100),
+        subscriber="alice",
+        profile_id="alarm",
+    )
+    print(f"plus a fluent one: {alarm.profile}")
+    print()
+
+    # --- 2. Publish the event of Eq. (1) --------------------------------------
     event = example_event()
-    result = matcher.match(event)
+    outcome = service.publish(event)
     print(f"{event}")
     print(
-        f"  matched profiles: {', '.join(result.matched_profile_ids)} "
-        f"({result.operations} comparison operations)"
+        f"  matched profiles: {', '.join(outcome.match_result.matched_profile_ids)} "
+        f"({outcome.match_result.operations} comparison operations, "
+        f"{outcome.delivered} notifications)"
     )
     print()
-    print("profile tree (natural order, Fig. 1):")
-    print(matcher.tree.describe())
-    print()
 
-    # --- 2. Distribution-based reordering ------------------------------------
-    event_distributions = example3_event_distributions()
-    optimizer = TreeOptimizer(profiles, event_distributions)
-    configuration = optimizer.configuration(
-        value_measure=ValueMeasure.V1_EVENT,
-        attribute_measure=AttributeMeasure.A2_ZERO_PROBABILITY,
-        label="V1 + A2",
-    )
-
-    natural_cost = expected_tree_cost(build_tree(profiles), event_distributions)
-    reordered_tree = build_tree(profiles, configuration)
-    reordered_cost = expected_tree_cost(reordered_tree, event_distributions)
-
-    print("expected comparison operations per event (analytical model, Eq. 2):")
-    print(f"  natural order : {natural_cost.operations_per_event:6.3f}")
-    print(f"  V1 + A2       : {reordered_cost.operations_per_event:6.3f}")
-    improvement = 1 - reordered_cost.operations_per_event / natural_cost.operations_per_event
-    print(f"  improvement   : {improvement:6.1%}")
-    print()
-    print("reordered profile tree (Fig. 2):")
-    print(reordered_tree.describe())
-
-    # --- 3. The reordering never changes what matches ------------------------
-    matcher.reconfigure(configuration)
-    reordered_result = matcher.match(event)
-    assert sorted(reordered_result.matched_profile_ids) == sorted(result.matched_profile_ids)
-    print()
+    # --- 3. The handle life-cycle ---------------------------------------------
+    # Pause/resume/modify ride the engine's incremental maintenance: the
+    # filter is never rebuilt, and matching reflects the latest state.
+    p2 = handles[1]
+    p2.pause()
+    without = service.publish(event)
+    p2.resume()
     print(
-        "same event after reordering: matches "
-        f"{', '.join(reordered_result.matched_profile_ids)} "
-        f"({reordered_result.operations} operations instead of {result.operations})"
+        f"with {p2.profile.profile_id} paused the same event matches only: "
+        f"{', '.join(without.match_result.matched_profile_ids)}"
     )
+    alarm.modify(where("temperature").at_least(25))
+    with_alarm = service.publish(event)
+    print(
+        f"after lowering the alarm threshold it matches: "
+        f"{', '.join(with_alarm.match_result.matched_profile_ids)}"
+    )
+    print()
+
+    # --- 4. One merged statistics snapshot ------------------------------------
+    snapshot = service.stats()
+    print("service statistics (filter + kernel + adaptation, one snapshot):")
+    print(f"  events filtered      : {snapshot.events}")
+    print(f"  notifications        : {snapshot.notifications}")
+    print(f"  ops/event            : {snapshot.average_operations_per_event:6.2f}")
+    print(f"  match rate           : {snapshot.match_rate:6.1%}")
+    print(
+        f"  engine               : {snapshot.engine} "
+        f"(currently running the {snapshot.engine_family} family)"
+    )
+    print(f"  subscriptions        : {snapshot.subscriptions}")
+    print(f"  re-optimisations     : {len(snapshot.adaptations)} considered")
 
 
 if __name__ == "__main__":

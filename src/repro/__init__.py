@@ -20,6 +20,10 @@ Sub-packages
 ``repro.service``
     The event notification service: broker, subscriptions, adaptive
     re-optimisation, quenching and a multi-broker routing overlay.
+``repro.api``
+    The stable client facade: :class:`~repro.api.FilterService`, durable
+    subscription handles, the fluent profile builder (``where``) and the
+    pluggable engine registry.
 ``repro.simulation``
     Discrete-event simulation used by the distributed examples.
 ``repro.workloads``
@@ -39,7 +43,7 @@ from repro.matching import (
     match_batch,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CountingMatcher",

@@ -1,0 +1,103 @@
+"""``repro.api`` — the stable, ergonomic surface of the filtering service.
+
+The paper frames content-based filtering as a *service* users subscribe
+to; this package is that service boundary.  Engines, statistics and the
+subscription life-cycle keep evolving underneath
+(:mod:`repro.matching`, :mod:`repro.service`), while the names exported
+here — locked, with signatures, by ``tests/test_public_api.py`` — stay
+put.
+
+API tour
+--------
+
+**1. Build a service.**  One :class:`FilterService` per schema; pick an
+engine family by registry name (``"tree"``, ``"index"``) or let
+``"auto"`` arbitrate from the observed event distributions (the
+default)::
+
+    from repro.api import FilterService, where
+    from repro.workloads import environmental_schema
+
+    service = FilterService(environmental_schema())   # engine="auto"
+
+**2. Subscribe with the fluent builder** (or any hand-built
+:class:`~repro.core.profiles.Profile` — the two compile bit-identically)
+and keep the returned durable handle::
+
+    alarm = service.subscribe(
+        where("temperature").at_least(40) & where("humidity").between(80, 100),
+        subscriber="alice",
+    )
+
+**3. Publish** events one at a time or in batches (batches reach the
+index family's columnar kernel)::
+
+    outcome = service.publish({"temperature": 45, "humidity": 90, ...})
+    outcomes = service.publish_batch(ticks)
+
+**4. Manage the subscription through its handle.**  Pause, resume,
+modify and cancel all ride the engine's incremental maintenance — no
+filter rebuild, and the adaptation history survives::
+
+    alarm.pause()
+    alarm.modify(where("temperature").at_least(50))
+    alarm.resume()
+    alarm.cancel()
+
+**5. Observe** everything through one snapshot merging the filter
+statistics, the batch-kernel accounting and the adaptation history::
+
+    snapshot = service.stats()
+    snapshot.average_operations_per_event
+    snapshot.batch_dedup_factor
+    snapshot.adaptations[-1].engine
+
+**6. Plug in an engine.**  Matcher families live in the engine registry
+(:mod:`repro.matching.registry`); registering an
+:class:`~repro.matching.registry.EngineSpec` makes a third-party family
+selectable by name — globally via :func:`default_registry`, or per
+service via ``AdaptationPolicy(registry=...)`` — without touching
+``repro.service``::
+
+    from repro.api import AdaptationPolicy, EngineSpec, default_registry
+
+    default_registry().register(
+        EngineSpec(name="bitmap", factory=lambda ctx: BitmapMatcher(ctx.profiles))
+    )
+    service = FilterService(schema, engine="bitmap")
+"""
+
+from repro.core.builder import AttributeClause, ProfileBuilder, build_profiles, where
+from repro.core.events import Event
+from repro.core.profiles import Profile
+from repro.core.schema import Attribute, Schema
+from repro.matching.registry import (
+    EngineCapabilities,
+    EngineRegistry,
+    EngineSpec,
+    default_registry,
+)
+from repro.service.adaptive import AdaptationPolicy, AdaptationRecord
+from repro.service.broker import PublishOutcome
+from repro.api.service import FilterService, ServiceStats, SubscriptionHandle
+
+__all__ = [
+    "AdaptationPolicy",
+    "AdaptationRecord",
+    "Attribute",
+    "AttributeClause",
+    "EngineCapabilities",
+    "EngineRegistry",
+    "EngineSpec",
+    "Event",
+    "FilterService",
+    "Profile",
+    "ProfileBuilder",
+    "PublishOutcome",
+    "Schema",
+    "ServiceStats",
+    "SubscriptionHandle",
+    "build_profiles",
+    "default_registry",
+    "where",
+]

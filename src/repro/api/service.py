@@ -1,0 +1,429 @@
+"""The :class:`FilterService` facade and its subscription handles.
+
+This module is the implementation behind :mod:`repro.api`; see the
+package docstring for the API tour.  The facade owns one
+:class:`~repro.service.broker.Broker` (and through it the adaptive
+engine) and exposes the paper's *service* framing: users subscribe
+profiles and receive durable :class:`SubscriptionHandle` objects whose
+pause/resume/modify/cancel life-cycle rides the engine's incremental
+maintenance path — subscription churn never rebuilds the filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.builder import ProfileBuilder
+from repro.core.errors import ProfileError, SubscriptionError
+from repro.core.events import Event
+from repro.core.profiles import Profile
+from repro.core.schema import Schema
+from repro.matching.index.kernel import KernelStats
+from repro.matching.registry import EngineRegistry
+from repro.matching.statistics import FilterStatistics
+from repro.service.adaptive import (
+    AdaptationPolicy,
+    AdaptationRecord,
+    resolve_policy_engine,
+)
+from repro.service.broker import Broker, PublishOutcome
+from repro.service.notifications import NotificationLog, NotificationSink
+from repro.service.subscriptions import Subscription
+
+__all__ = ["FilterService", "ServiceStats", "SubscriptionHandle"]
+
+#: States of a subscription handle.
+_ACTIVE, _PAUSED, _CANCELLED = "active", "paused", "cancelled"
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One unified snapshot of a :class:`FilterService`'s observability.
+
+    Merges the three accounting layers that previously had to be read
+    separately: the broker's
+    :class:`~repro.matching.statistics.FilterStatistics` (events,
+    operations, notifications), the index family's aggregated
+    :class:`~repro.matching.index.kernel.KernelStats` (columnar
+    batch-kernel executed work, across replans), and the adaptive
+    engine's :class:`~repro.service.adaptive.AdaptationRecord` history.
+    """
+
+    #: Events published (excluding quenched ones, which never reach the
+    #: filter component).
+    events: int
+    #: Events that matched at least one profile.
+    matched_events: int
+    #: Notifications delivered in total.
+    notifications: int
+    #: Total comparison operations the filter spent.
+    operations: int
+    #: The paper's primary metric (0.0 before the first event).
+    average_operations_per_event: float
+    #: Average notified profiles per event (0.0 before the first event).
+    average_matches_per_event: float
+    #: Fraction of events matching at least one profile.
+    match_rate: float
+    #: Events suppressed by publisher-side quenching.
+    quenched_events: int
+    #: Registered subscriptions (paused ones included).
+    subscriptions: int
+    #: Subscriptions currently paused.
+    paused_subscriptions: int
+    #: Engine the policy selects (a registry name or ``"auto"``).
+    engine: str
+    #: Family of the matcher currently running (``None`` until the first
+    #: subscription builds an engine).
+    engine_family: str | None
+    #: Aggregated columnar batch-kernel accounting (all-zero when the
+    #: batch path never ran).
+    kernel: KernelStats
+    #: Every re-optimisation decision taken so far, oldest first.
+    adaptations: tuple[AdaptationRecord, ...]
+
+    @property
+    def batch_dedup_factor(self) -> float:
+        """Return charged/executed kernel operations (1.0 = no batch runs)."""
+        return self.kernel.dedup_factor
+
+    @property
+    def applied_adaptations(self) -> int:
+        """Return how many re-optimisation decisions were applied."""
+        return sum(1 for record in self.adaptations if record.applied)
+
+
+class SubscriptionHandle:
+    """Durable handle of one subscription (returned by ``subscribe``).
+
+    The handle outlives engine replans and family switches: pause,
+    resume, modify and cancel all route through the broker's incremental
+    maintenance, so the filter structures and the adaptation history
+    survive any amount of handle churn.  Handles are idempotent where it
+    is safe (pausing a paused handle is a no-op) and strict where it is
+    not (anything on a cancelled handle raises
+    :class:`~repro.core.errors.SubscriptionError`).
+    """
+
+    def __init__(self, service: "FilterService", subscription: Subscription) -> None:
+        self._service = service
+        self._subscription = subscription
+        self._state = _ACTIVE
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def subscription_id(self) -> str:
+        return self._subscription.subscription_id
+
+    @property
+    def profile(self) -> Profile:
+        """Return the currently registered profile."""
+        return self._subscription.profile
+
+    @property
+    def subscriber(self) -> str:
+        return self._subscription.subscriber
+
+    @property
+    def state(self) -> str:
+        """Return ``"active"``, ``"paused"`` or ``"cancelled"``."""
+        return self._state
+
+    @property
+    def is_active(self) -> bool:
+        return self._state == _ACTIVE
+
+    @property
+    def is_paused(self) -> bool:
+        return self._state == _PAUSED
+
+    @property
+    def is_cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def notifications_received(self) -> int:
+        """Return how many notifications this handle's profile received."""
+        log: NotificationLog = self._service.broker.notification_log
+        return log.count_per_profile().get(self.profile.profile_id, 0)
+
+    # -- life-cycle ------------------------------------------------------------
+    def _require_live(self, operation: str) -> None:
+        if self._state == _CANCELLED:
+            raise SubscriptionError(
+                f"cannot {operation} subscription {self.subscription_id!r}: "
+                "the handle was cancelled"
+            )
+
+    def pause(self) -> "SubscriptionHandle":
+        """Stop deliveries (idempotent); the registration survives."""
+        self._require_live("pause")
+        if self._state != _PAUSED:
+            self._service.broker.pause_subscription(self.subscription_id)
+            self._state = _PAUSED
+        return self
+
+    def resume(self) -> "SubscriptionHandle":
+        """Re-enable deliveries (idempotent)."""
+        self._require_live("resume")
+        if self._state == _PAUSED:
+            self._service.broker.resume_subscription(self.subscription_id)
+            self._state = _ACTIVE
+        return self
+
+    def modify(self, profile: Profile | ProfileBuilder) -> "SubscriptionHandle":
+        """Replace the subscribed profile in place.
+
+        A :class:`~repro.core.builder.ProfileBuilder` compiles under the
+        *current* profile id (same subscription, new predicates); a
+        ready-made :class:`~repro.core.profiles.Profile` is registered
+        as given.  Works while paused — the new profile attaches on
+        resume.
+        """
+        self._require_live("modify")
+        if isinstance(profile, ProfileBuilder):
+            current = self._subscription.profile
+            profile = profile.build(
+                current.profile_id,
+                subscriber=current.subscriber,
+                priority=current.priority,
+            )
+        elif not isinstance(profile, Profile):
+            raise ProfileError(
+                f"modify() needs a Profile or ProfileBuilder, got {type(profile).__name__}"
+            )
+        self._subscription = self._service.broker.modify_subscription(
+            self.subscription_id, profile
+        )
+        return self
+
+    def cancel(self) -> Subscription:
+        """Unsubscribe for good; further operations on the handle raise."""
+        self._require_live("cancel")
+        subscription = self._service.broker.unsubscribe(self.subscription_id)
+        self._state = _CANCELLED
+        self._service._forget(self.subscription_id)
+        return subscription
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"SubscriptionHandle({self.subscription_id!r}, "
+            f"profile={self.profile.profile_id!r}, state={self._state!r})"
+        )
+
+
+class FilterService:
+    """Unified client facade of the event notification service.
+
+    One object bundles what previously took four (broker, registry,
+    engine, statistics): subscribe and get a durable handle, publish
+    events or batches, read one merged :meth:`stats` snapshot.  The
+    engine roster is the pluggable registry of
+    :mod:`repro.matching.registry`; pick a family (or ``"auto"``) by
+    name, or carry a custom registry on the policy.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        engine: str | None = None,
+        adaptive: bool = True,
+        policy: AdaptationPolicy | None = None,
+        quenching: bool = False,
+        service_id: str = "filter-service",
+    ) -> None:
+        """Create a service over ``schema``.
+
+        ``engine`` names any registered matcher family or ``"auto"``
+        (the default when no policy is given: the facade serves the
+        paper's adaptive-service framing).  ``policy`` carries the full
+        adaptation knobs — including
+        :attr:`~repro.service.adaptive.AdaptationPolicy.min_columnar_batch`
+        and a custom
+        :attr:`~repro.service.adaptive.AdaptationPolicy.registry` — and
+        must agree with ``engine`` when both are given.
+        """
+        if policy is None and engine is None:
+            engine = "auto"  # the facade serves the paper's adaptive framing
+        policy = resolve_policy_engine(policy, engine)
+        self._broker = Broker(
+            schema,
+            broker_id=service_id,
+            adaptive=adaptive,
+            adaptation_policy=policy,
+            enable_quenching=quenching,
+        )
+        self._handles: dict[str, SubscriptionHandle] = {}
+        self._profile_counter = 0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._broker.schema
+
+    @property
+    def broker(self) -> Broker:
+        """Return the underlying broker (service-layer escape hatch)."""
+        return self._broker
+
+    @property
+    def policy(self) -> AdaptationPolicy:
+        """Return the resolved adaptation policy."""
+        return self._broker.adaptation_policy
+
+    @property
+    def registry(self) -> EngineRegistry:
+        """Return the engine roster this service resolves families against."""
+        return self.policy.engine_registry
+
+    def engines(self) -> tuple[str, ...]:
+        """Return every selectable engine name (families + ``"auto"``)."""
+        return self.registry.engine_names()
+
+    def handles(self) -> list[SubscriptionHandle]:
+        """Return the live (non-cancelled) handles, oldest first."""
+        return list(self._handles.values())
+
+    def handle(self, subscription_id: str) -> SubscriptionHandle:
+        """Return the handle of a subscription id."""
+        try:
+            return self._handles[subscription_id]
+        except KeyError as exc:
+            raise SubscriptionError(
+                f"unknown subscription id {subscription_id!r}"
+            ) from exc
+
+    def _forget(self, subscription_id: str) -> None:
+        self._handles.pop(subscription_id, None)
+
+    # -- subscribing -----------------------------------------------------------
+    def _generate_profile_id(self) -> str:
+        """Return the next free ``profile-N`` id.
+
+        Skips ids already registered (a user may have hand-picked
+        ``profile-3``), so auto-named builder subscriptions never collide.
+        """
+        registry = self._broker.subscriptions
+        while True:
+            self._profile_counter += 1
+            candidate = f"profile-{self._profile_counter}"
+            if not registry.has_profile_id(candidate):
+                return candidate
+
+    def _compile(
+        self,
+        profile: Profile | ProfileBuilder,
+        profile_id: str | None,
+        subscriber: str,
+    ) -> Profile:
+        if isinstance(profile, ProfileBuilder):
+            if profile_id is None:
+                profile_id = self._generate_profile_id()
+            return profile.build(profile_id, subscriber=subscriber)
+        if not isinstance(profile, Profile):
+            raise ProfileError(
+                f"subscribe() needs a Profile or ProfileBuilder, got {type(profile).__name__}"
+            )
+        if profile_id is not None and profile_id != profile.profile_id:
+            raise ProfileError(
+                f"profile_id={profile_id!r} conflicts with the profile's own id "
+                f"{profile.profile_id!r}; pass one or the other"
+            )
+        return profile
+
+    def subscribe(
+        self,
+        profile: Profile | ProfileBuilder,
+        *,
+        subscriber: str = "anonymous",
+        profile_id: str | None = None,
+        sink: NotificationSink | None = None,
+    ) -> SubscriptionHandle:
+        """Register a profile (or fluent builder) and return its handle.
+
+        Builders compile under ``profile_id`` (auto-generated
+        ``profile-N`` when omitted).  The subscription attaches through
+        the engine's incremental maintenance; ``sink`` is invoked for
+        every delivered notification.
+        """
+        compiled = self._compile(profile, profile_id, subscriber)
+        subscription = self._broker.subscribe(compiled, subscriber, sink=sink)
+        handle = SubscriptionHandle(self, subscription)
+        self._handles[subscription.subscription_id] = handle
+        return handle
+
+    def subscribe_all(
+        self,
+        profiles: Iterable[Profile | ProfileBuilder],
+        *,
+        subscriber: str = "anonymous",
+    ) -> list[SubscriptionHandle]:
+        """Subscribe many profiles/builders (one engine build, atomic)."""
+        compiled = [self._compile(profile, None, subscriber) for profile in profiles]
+        subscriptions = self._broker.subscribe_all(compiled, subscriber)
+        handles = []
+        for subscription in subscriptions:
+            handle = SubscriptionHandle(self, subscription)
+            self._handles[subscription.subscription_id] = handle
+            handles.append(handle)
+        return handles
+
+    # -- publishing ------------------------------------------------------------
+    @staticmethod
+    def _as_event(event: Event | Mapping[str, object]) -> Event:
+        if isinstance(event, Event):
+            return event
+        return Event(dict(event))
+
+    def publish(self, event: Event | Mapping[str, object]) -> PublishOutcome:
+        """Publish one event (plain mappings are wrapped into events)."""
+        return self._broker.publish(self._as_event(event))
+
+    def publish_batch(
+        self, events: Iterable[Event | Mapping[str, object]]
+    ) -> list[PublishOutcome]:
+        """Publish a batch atomically through the engine's batch kernel."""
+        return self._broker.publish_batch(
+            [self._as_event(event) for event in events]
+        )
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Return one merged observability snapshot (see :class:`ServiceStats`)."""
+        statistics: FilterStatistics = self._broker.statistics
+        events = statistics.events
+        if self._broker.has_engine:
+            engine = self._broker.engine
+            kernel = engine.kernel_stats()
+            adaptations = tuple(engine.adaptations())
+            engine_family = engine.engine_family
+        else:
+            kernel = KernelStats()
+            adaptations = ()
+            engine_family = None
+        return ServiceStats(
+            events=events,
+            matched_events=statistics.matched_events,
+            notifications=statistics.total_notifications,
+            operations=statistics.total_operations,
+            average_operations_per_event=(
+                statistics.average_operations_per_event() if events else 0.0
+            ),
+            average_matches_per_event=(
+                statistics.average_matches_per_event() if events else 0.0
+            ),
+            match_rate=statistics.match_rate() if events else 0.0,
+            quenched_events=self._broker.quenched_events,
+            subscriptions=len(self._broker.subscriptions),
+            paused_subscriptions=len(self._broker.paused_subscription_ids),
+            engine=self.policy.engine,
+            engine_family=engine_family,
+            kernel=kernel,
+            adaptations=adaptations,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"FilterService(engine={self.policy.engine!r}, "
+            f"subscriptions={len(self._broker.subscriptions)})"
+        )

@@ -7,6 +7,7 @@ most ``2p - 1`` sub-ranges referred to by the ``p`` profiles plus the
 zero-subdomain ``D_0``.
 """
 
+from repro.core.builder import AttributeClause, ProfileBuilder, build_profiles, where
 from repro.core.domains import ContinuousDomain, DiscreteDomain, Domain, IntegerDomain
 from repro.core.errors import (
     DistributionError,
@@ -48,6 +49,7 @@ from repro.core.subranges import (
 
 __all__ = [
     "Attribute",
+    "AttributeClause",
     "AttributePartition",
     "ContinuousDomain",
     "DiscreteDomain",
@@ -68,6 +70,7 @@ __all__ = [
     "Predicate",
     "PredicateError",
     "Profile",
+    "ProfileBuilder",
     "ProfileError",
     "ProfileSet",
     "RangePredicate",
@@ -84,6 +87,8 @@ __all__ = [
     "WorkloadError",
     "build_partition",
     "build_partitions",
+    "build_profiles",
     "decompose_intervals",
     "profile",
+    "where",
 ]

@@ -13,6 +13,12 @@ API ``match_batch``) and the same comparison-operation accounting:
 * :class:`~repro.matching.index.PredicateIndexMatcher` — counting over
   per-(attribute, operator) index buckets, planned by the
   selectivity-aware :class:`~repro.matching.index.IndexPlanner`.
+
+The families the adaptive service can drive are declared in the
+**engine registry** (:mod:`repro.matching.registry`): each registers a
+factory, a cost estimator for the ``auto`` arbitration and capability
+flags, and third-party families become selectable by registering an
+:class:`~repro.matching.registry.EngineSpec` of their own.
 """
 
 from repro.matching.counting import CountingMatcher
@@ -24,6 +30,15 @@ from repro.matching.index import (
 )
 from repro.matching.interfaces import Matcher, MatchResult, match_all, match_batch
 from repro.matching.naive import NaiveMatcher
+from repro.matching.registry import (
+    EngineCandidate,
+    EngineCapabilities,
+    EngineContext,
+    EngineRegistry,
+    EngineSpec,
+    ReoptimisationProposal,
+    default_registry,
+)
 from repro.matching.statistics import FilterStatistics, RunningMean
 from repro.matching.tree import (
     ProfileTree,
@@ -37,6 +52,11 @@ from repro.matching.tree import (
 __all__ = [
     "AttributePlan",
     "CountingMatcher",
+    "EngineCandidate",
+    "EngineCapabilities",
+    "EngineContext",
+    "EngineRegistry",
+    "EngineSpec",
     "FilterStatistics",
     "IndexPlan",
     "IndexPlanner",
@@ -45,12 +65,14 @@ __all__ = [
     "NaiveMatcher",
     "PredicateIndexMatcher",
     "ProfileTree",
+    "ReoptimisationProposal",
     "RunningMean",
     "SearchStrategy",
     "TreeConfiguration",
     "TreeMatcher",
     "ValueOrder",
     "build_tree",
+    "default_registry",
     "match_all",
     "match_batch",
 ]

@@ -123,6 +123,21 @@ class KernelStats:
             return 1.0
         return self.charged_operations / self.executed_operations
 
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Fold another accounting into this one (in place) and return it.
+
+        Used by the service layer to aggregate executed-work stats across
+        matcher instances retired by adaptive replanning.
+        """
+        self.events += other.events
+        self.charged_operations += other.charged_operations
+        self.executed_operations += other.executed_operations
+        self.distinct_probes += other.distinct_probes
+        self.counter_bumps += other.counter_bumps
+        self.matrix_tiles += other.matrix_tiles
+        self.scratch_tiles += other.scratch_tiles
+        return self
+
 
 def _schedule(events: list["Event"], probe_states):
     """Schedule the batch on the highest-rejection-power attribute.

@@ -6,19 +6,19 @@ maintain a history of events in order to determine the event distribution";
 Section 1 promises "an adaptive filter component that optimizes the profile
 tree for certain applications based on the data distributions".
 
-:class:`AdaptiveFilterEngine` wraps one matcher from its roster (``tree``,
-``index`` or ``auto`` — see :data:`ENGINES`) and
+:class:`AdaptiveFilterEngine` drives one matcher from the **engine
+registry** (:mod:`repro.matching.registry`; the built-in families are
+``tree`` and ``index``, ``"auto"`` arbitrates between every registered
+family) and
 
 * records every filtered event in a bounded
   :class:`~repro.distributions.estimation.EventHistory`,
 * periodically (every ``reoptimize_interval`` events) estimates the current
   per-attribute event distributions from the history,
-* derives a candidate from the configured value/attribute measures — a
-  tree configuration via the
-  :class:`~repro.selectivity.optimizer.TreeOptimizer`, an index plan via
-  the :class:`~repro.matching.index.planner.IndexPlanner`, or (``auto``)
-  the cheaper of both families under the shared comparison-count cost
-  currency, and
+* asks the engine's :class:`~repro.matching.registry.EngineSpec` for a
+  candidate — a restructured tree, a replanned index, or (``auto``) the
+  cheapest candidate of *any* registered family under the shared
+  comparison-count cost currency — and
 * restructures/replans/switches when the analytical model predicts at
   least ``improvement_threshold`` relative improvement over the current
   matcher (restructuring has a cost, so marginal gains are ignored — the
@@ -28,36 +28,57 @@ tree for certain applications based on the data distributions".
 Profile maintenance delegates to the wrapped matcher's incremental
 ``add_profile`` / ``remove_profile``, so subscription churn keeps the
 history and adaptation state alive (the broker relies on this).
+
+The pre-registry roster tuple ``ENGINES`` remains importable as a
+deprecation shim; new code asks
+:func:`repro.matching.registry.default_registry` (or the policy's own
+registry) for :meth:`~repro.matching.registry.EngineRegistry.engine_names`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.analysis.cost_model import expected_tree_cost
-from repro.core.errors import ReproError, ServiceError
+from repro.core.deprecation import warn_once
+from repro.core.errors import MatchingError, ServiceError
 from repro.core.events import Event
-from repro.core.subranges import build_partitions
 from repro.core.profiles import Profile, ProfileSet
 from repro.distributions.base import Distribution
 from repro.distributions.estimation import EventHistory
-from repro.matching.index.matcher import PredicateIndexMatcher
-from repro.matching.index.planner import IndexPlanner
-from repro.matching.interfaces import MatchResult
-from repro.matching.tree.builder import build_tree
+from repro.matching.index.kernel import KernelStats
+from repro.matching.interfaces import Matcher, MatchResult
+from repro.matching.registry import (
+    AUTO_ENGINE,
+    EngineContext,
+    EngineRegistry,
+    EngineSpec,
+    default_registry,
+)
 from repro.matching.tree.config import SearchStrategy, TreeConfiguration
 from repro.matching.tree.matcher import TreeMatcher
 from repro.selectivity.attribute_measures import AttributeMeasure
-from repro.selectivity.optimizer import TreeOptimizer
 from repro.selectivity.value_measures import ValueMeasure
 
-__all__ = ["AdaptationPolicy", "AdaptationRecord", "AdaptiveFilterEngine"]
+__all__ = [
+    "AdaptationPolicy",
+    "AdaptationRecord",
+    "AdaptiveFilterEngine",
+    "resolve_policy_engine",
+]
 
-#: Matcher roster of the adaptive engine: policy.engine selects one.
-#: ``"auto"`` arbitrates between the tree and index families at every
-#: re-optimisation (see :meth:`AdaptiveFilterEngine._consider_auto`).
-ENGINES = ("tree", "index", "auto")
+
+def __getattr__(name: str):
+    if name == "ENGINES":
+        # Deprecation shim: the hard-coded roster tuple became the engine
+        # registry.  Computed on access so third-party registrations show.
+        warn_once(
+            "repro.service.adaptive.ENGINES",
+            "repro.service.adaptive.ENGINES is deprecated; use "
+            "repro.matching.registry.default_registry().engine_names()",
+        )
+        return default_registry().engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -68,7 +89,8 @@ class AdaptationPolicy:
     value_measure: ValueMeasure = ValueMeasure.V1_EVENT
     #: Attribute-selectivity measure used when re-optimising.  The tree
     #: engine accepts any measure; the index engine ranks its probe order
-    #: with it and supports NATURAL/A1/A2 (A3 is a whole-tree measure).
+    #: with it and supports NATURAL/A1/A2 (A3 is a whole-tree measure) —
+    #: each family declares its supported measures on its registry spec.
     attribute_measure: AttributeMeasure = AttributeMeasure.A2_ZERO_PROBABILITY
     #: Node search strategy of the rebuilt tree (tree engine only).
     search: SearchStrategy = SearchStrategy.LINEAR
@@ -80,34 +102,52 @@ class AdaptationPolicy:
     improvement_threshold: float = 0.05
     #: Length of the sliding event history window.
     history_length: int = 10_000
-    #: Which matcher the engine drives: ``"tree"`` (the paper's profile
-    #: tree, restructured via the TreeOptimizer), ``"index"`` (the
-    #: predicate-index matcher, replanned via the IndexPlanner) or
-    #: ``"auto"`` (starts on the index matcher and, at every
-    #: re-optimisation, switches to whichever family the cost models
-    #: predict to be cheaper under the current history distributions).
+    #: Which matcher the engine drives: the name of any family registered
+    #: with the engine registry (built-ins: ``"tree"``, the paper's
+    #: profile tree restructured via the TreeOptimizer, and ``"index"``,
+    #: the predicate-index matcher replanned via the IndexPlanner) or
+    #: ``"auto"`` (starts on the registry's preferred family and, at every
+    #: re-optimisation, switches to whichever registered family the cost
+    #: models predict to be cheaper under the current history
+    #: distributions).
     engine: str = "tree"
     #: Hysteresis of the ``auto`` arbitration: after an applied
-    #: tree<->index family switch, further switches are suppressed for
+    #: family switch, further switches are suppressed for
     #: this many re-optimisation checks, so an alternating workload does
     #: not thrash expensive family rebuilds every interval.  Suppressed
     #: decisions are still recorded (``AdaptationRecord.suppressed``);
     #: same-family restructures/replans are never held back.  ``0``
     #: disables the cooldown.
     switch_cooldown_intervals: int = 2
+    #: Columnar batch-kernel cutover for families with a batch kernel
+    #: (today: the index family).  ``None`` defers to the registry
+    #: entry's default and ultimately to
+    #: :data:`repro.matching.index.kernel.MIN_COLUMNAR_BATCH`; smaller
+    #: values push smaller batches into the columnar kernel.
+    min_columnar_batch: int | None = None
+    #: Engine roster consulted for validation, construction and the
+    #: ``auto`` arbitration.  ``None`` uses the process-wide
+    #: :func:`~repro.matching.registry.default_registry`; passing a
+    #: custom :class:`~repro.matching.registry.EngineRegistry` keeps
+    #: experiment-local engines out of the global roster.
+    registry: EngineRegistry | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        if self.engine not in ENGINES:
-            raise ServiceError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
-        if (
-            self.engine in ("index", "auto")
-            and self.attribute_measure not in IndexPlanner.SUPPORTED_MEASURES
-        ):
-            raise ServiceError(
-                f"the {self.engine} engine cannot rank by measure "
-                f"{self.attribute_measure.value!r}; "
-                f"supported: {[m.value for m in IndexPlanner.SUPPORTED_MEASURES]}"
-            )
+        roster = self.engine_registry
+        try:
+            roster.validate_engine(self.engine)
+        except MatchingError as exc:
+            raise ServiceError(str(exc)) from exc
+        for spec in self._selected_specs():
+            if (
+                spec.supported_measures is not None
+                and self.attribute_measure not in spec.supported_measures
+            ):
+                raise ServiceError(
+                    f"the {self.engine} engine cannot rank by measure "
+                    f"{self.attribute_measure.value!r}; the {spec.name} family "
+                    f"supports: {[m.value for m in spec.supported_measures]}"
+                )
         if self.reoptimize_interval <= 0:
             raise ServiceError("reoptimize_interval must be positive")
         if self.warmup_events < 0:
@@ -118,6 +158,20 @@ class AdaptationPolicy:
             raise ServiceError("history_length must be positive")
         if self.switch_cooldown_intervals < 0:
             raise ServiceError("switch_cooldown_intervals must be non-negative")
+        if self.min_columnar_batch is not None and self.min_columnar_batch < 0:
+            raise ServiceError("min_columnar_batch must be non-negative")
+
+    @property
+    def engine_registry(self) -> EngineRegistry:
+        """Return the roster this policy resolves engine names against."""
+        return self.registry if self.registry is not None else default_registry()
+
+    def _selected_specs(self) -> list[EngineSpec]:
+        """Return the specs the chosen engine may drive (all, for auto)."""
+        roster = self.engine_registry
+        if self.engine == AUTO_ENGINE:
+            return roster.arbitrating_specs()
+        return [roster.spec(self.engine)]
 
 
 @dataclass(frozen=True)
@@ -129,10 +183,11 @@ class AdaptationRecord:
     predicted_candidate: float
     applied: bool
     configuration_label: str
-    #: Matcher family the decision selected: ``"tree"`` or ``"index"``.
-    #: For the fixed engines this is simply the engine itself; for
-    #: ``engine="auto"`` it exposes which family the arbitration chose
-    #: (``applied`` says whether a switch/restructure actually happened).
+    #: Matcher family the decision selected (a registry name, e.g.
+    #: ``"tree"`` or ``"index"``).  For the fixed engines this is simply
+    #: the engine itself; for ``engine="auto"`` it exposes which family
+    #: the arbitration chose (``applied`` says whether a
+    #: switch/restructure actually happened).
     engine: str = ""
     #: ``True`` when the arbitration *wanted* to switch matcher families
     #: but the switch cooldown held it back (``applied`` is then False);
@@ -148,7 +203,7 @@ class AdaptationRecord:
 
 
 class AdaptiveFilterEngine:
-    """A tree matcher that restructures itself from the observed history."""
+    """A registry-driven matcher that restructures itself from history."""
 
     def __init__(
         self,
@@ -159,19 +214,17 @@ class AdaptiveFilterEngine:
     ) -> None:
         self.policy = policy or AdaptationPolicy()
         self.profiles = profiles
-        self._matcher: TreeMatcher | PredicateIndexMatcher
-        if self.policy.engine in ("index", "auto"):
-            # ``initial_configuration``, value_measure and search are
-            # tree-shape knobs with no index analogue; the attribute
-            # measure transfers and drives the probe order.  ``auto``
-            # starts on the index matcher (the cheaper build) and lets the
-            # first re-optimisation arbitrate the families from history.
-            self._matcher = PredicateIndexMatcher(
-                profiles,
-                planner=IndexPlanner(attribute_measure=self.policy.attribute_measure),
-            )
+        self._registry = self.policy.engine_registry
+        self._initial_configuration = initial_configuration
+        if self.policy.engine == AUTO_ENGINE:
+            # ``auto`` starts on the registry's preferred family (the
+            # cheaper build; the built-in roster starts on the index
+            # matcher) and lets the first re-optimisation arbitrate the
+            # families from history.
+            spec = self._registry.auto_start()
         else:
-            self._matcher = TreeMatcher(profiles, initial_configuration)
+            spec = self._registry.spec(self.policy.engine)
+        self._matcher: Matcher = spec.factory(self._context_for(spec))
         self._history = EventHistory(profiles.schema, max_length=self.policy.history_length)
         self._events_filtered = 0
         self._events_at_last_check = 0
@@ -179,12 +232,48 @@ class AdaptiveFilterEngine:
         #: Re-optimisation checks left before the auto arbitration may
         #: switch matcher families again (hysteresis).
         self._switch_cooldown = 0
+        #: Kernel stats of matcher instances retired by replans/switches;
+        #: :meth:`kernel_stats` folds the live matcher's stats on top.
+        self._retired_kernel_stats = KernelStats()
+
+    def _context_for(self, spec: EngineSpec) -> EngineContext:
+        """Build the spec-callback context, resolving per-spec defaults."""
+        min_columnar = self.policy.min_columnar_batch
+        if min_columnar is None:
+            min_columnar = spec.min_columnar_batch
+        return EngineContext(
+            profiles=self.profiles,
+            attribute_measure=self.policy.attribute_measure,
+            value_measure=self.policy.value_measure,
+            search=self.policy.search,
+            initial_configuration=self._initial_configuration,
+            min_columnar_batch=min_columnar,
+        )
+
+    def _adopt_matcher(self, matcher: Matcher) -> None:
+        """Install a (possibly new) matcher, preserving kernel accounting."""
+        if matcher is not self._matcher:
+            stats = getattr(self._matcher, "kernel_stats", None)
+            if stats is not None:
+                self._retired_kernel_stats.merge(stats)
+            self._matcher = matcher
 
     # -- delegation ---------------------------------------------------------------
     @property
-    def matcher(self) -> TreeMatcher | PredicateIndexMatcher:
-        """Return the wrapped matcher (tree or predicate index)."""
+    def matcher(self) -> Matcher:
+        """Return the wrapped matcher (whatever family is running)."""
         return self._matcher
+
+    @property
+    def registry(self) -> EngineRegistry:
+        """Return the engine roster this engine resolves families against."""
+        return self._registry
+
+    @property
+    def engine_family(self) -> str | None:
+        """Return the registry name of the running matcher's family."""
+        spec = self._registry.owner_of(self._matcher)
+        return spec.name if spec is not None else None
 
     @property
     def history(self) -> EventHistory:
@@ -200,6 +289,15 @@ class AdaptiveFilterEngine:
     def adaptations(self) -> list[AdaptationRecord]:
         """Return every re-optimisation decision taken so far."""
         return list(self._adaptations)
+
+    def kernel_stats(self) -> KernelStats:
+        """Return executed-work batch-kernel accounting across the engine's
+        whole life, including matcher instances retired by replanning."""
+        total = KernelStats().merge(self._retired_kernel_stats)
+        live = getattr(self._matcher, "kernel_stats", None)
+        if live is not None:
+            total.merge(live)
+        return total
 
     def add_profile(self, profile: Profile) -> None:
         """Register a profile (delegates to the matcher)."""
@@ -287,125 +385,67 @@ class AdaptiveFilterEngine:
 
     def _consider_reoptimisation(self) -> None:
         self._events_at_last_check = self._events_filtered
+        if len(self.profiles) == 0:
+            # Nothing to optimise (every subscription is paused); the
+            # engine keeps filtering and recording history.
+            return
         try:
             distributions = self.estimated_event_distributions()
         except ServiceError:
             return
-        if self.policy.engine == "auto":
+        if self.policy.engine == AUTO_ENGINE:
             self._consider_auto(distributions)
             return
-        if isinstance(self._matcher, PredicateIndexMatcher):
-            self._consider_index_replan(distributions)
+        spec = self._registry.spec(self.policy.engine)
+        if spec.reoptimize is None:
+            # The family opted out of periodic restructuring (common for
+            # third-party engines); the engine just keeps filtering.
             return
-        candidate, candidate_tree, predicted_candidate = self._tree_candidate(
-            distributions, self._matcher.partitions()
-        )
-        predicted_current = expected_tree_cost(
-            self._matcher.tree, distributions
-        ).operations_per_event
+        proposal = spec.reoptimize(self._context_for(spec), self._matcher, distributions)
+        if proposal is None:
+            return
         improvement = (
-            1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
+            1.0 - proposal.predicted_candidate / proposal.predicted_current
+            if proposal.predicted_current > 0
+            else 0.0
         )
         applied = improvement >= self.policy.improvement_threshold
         if applied:
-            # Install the tree already built for costing — no second build.
-            self._matcher.adopt(candidate_tree, candidate)
+            self._adopt_matcher(proposal.install())
         self._adaptations.append(
             AdaptationRecord(
                 event_count=self._events_filtered,
-                predicted_current=predicted_current,
-                predicted_candidate=predicted_candidate,
+                predicted_current=proposal.predicted_current,
+                predicted_candidate=proposal.predicted_candidate,
                 applied=applied,
-                configuration_label=candidate.label,
-                engine="tree",
-            )
-        )
-
-    def _tree_candidate(self, distributions, partitions):
-        """Cost the optimizer's candidate tree under ``distributions``.
-
-        Shared by the pure-tree path and the ``auto`` arbitration so both
-        use one costing recipe.  Returns ``(configuration, tree,
-        operations_per_event)``; the built tree is returned so an applied
-        decision can adopt it instead of rebuilding.
-        """
-        partitions = dict(partitions)
-        optimizer = TreeOptimizer(self.profiles, distributions, partitions=partitions)
-        candidate = optimizer.configuration(
-            value_measure=self.policy.value_measure,
-            attribute_measure=self.policy.attribute_measure,
-            search=self.policy.search,
-        )
-        candidate_tree = build_tree(self.profiles, candidate, partitions=partitions)
-        cost = expected_tree_cost(candidate_tree, distributions).operations_per_event
-        return candidate, candidate_tree, cost
-
-    def _consider_index_replan(self, distributions: Mapping[str, Distribution]) -> None:
-        """Index-engine variant: replan the buckets from the history.
-
-        The current plan and a fresh distribution-aware plan are both costed
-        under the estimated distributions; the matcher is rebuilt only when
-        the planner predicts at least ``improvement_threshold`` relative
-        improvement, mirroring the tree path's restructuring economics.
-        """
-        matcher = self._matcher
-        assert isinstance(matcher, PredicateIndexMatcher)
-        # One cheap recosting pass yields both sides of the comparison; the
-        # replanned matcher is only built when the improvement is applied.
-        recosted = matcher.recost_plans(distributions)
-        predicted_current = 0.0
-        predicted_candidate = 0.0
-        for attribute, candidate_plan in recosted.items():
-            current_plan = matcher.plan.plan_for(attribute)
-            current_uses_index = (
-                current_plan.use_index if current_plan is not None else candidate_plan.use_index
-            )
-            predicted_current += (
-                candidate_plan.index_cost if current_uses_index else candidate_plan.scan_cost
-            )
-            predicted_candidate += candidate_plan.chosen_cost
-        improvement = (
-            1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
-        )
-        applied = improvement >= self.policy.improvement_threshold
-        if applied:
-            self._matcher = PredicateIndexMatcher(
-                self.profiles,
-                planner=IndexPlanner(
-                    distributions, attribute_measure=matcher.planner.attribute_measure
-                ),
-            )
-        indexed = sum(1 for plan in recosted.values() if plan.use_index)
-        self._adaptations.append(
-            AdaptationRecord(
-                event_count=self._events_filtered,
-                predicted_current=predicted_current,
-                predicted_candidate=predicted_candidate,
-                applied=applied,
-                configuration_label=f"index[{indexed} indexed, P_e estimated]",
-                engine="index",
+                configuration_label=proposal.label,
+                engine=spec.name,
             )
         )
 
     def _consider_auto(self, distributions: Mapping[str, Distribution]) -> None:
-        """Arbitrate between the matcher families (``engine="auto"``).
+        """Arbitrate between the registered families (``engine="auto"``).
 
-        The decision rule: cost the best candidate of *each* family in the
-        paper's common currency (expected comparison operations per event)
-        under the current history distributions — the index side through
-        the :class:`~repro.matching.index.planner.IndexPlanner` estimate,
-        the tree side through
+        The decision rule: ask every registry spec with a cost estimator
+        for its best candidate in the paper's common currency (expected
+        comparison operations per event) under the current history
+        distributions — the built-in index side through the
+        :class:`~repro.matching.index.planner.IndexPlanner` estimate, the
+        tree side through
         :func:`repro.analysis.cost_model.expected_tree_cost` of the
         :class:`~repro.selectivity.optimizer.TreeOptimizer`'s candidate
-        configuration — and adopt the cheaper family when it improves on
+        configuration — and adopt the cheapest family when it improves on
         the current matcher's predicted cost by at least
-        ``improvement_threshold``.  The chosen family is exposed as
+        ``improvement_threshold``.  Ties fall to the lower
+        :attr:`~repro.matching.registry.EngineSpec.auto_rank` (the index
+        family, on the built-in roster).  The chosen family is exposed as
         :attr:`AdaptationRecord.engine`.
 
-        Caveat inherited from the cost models: both sides count comparison
-        steps, but the counting family charges nothing for its counter
-        bookkeeping (see the baselines benchmark), so the arbitration is
-        biased the same way the paper's operation metric is.
+        Caveat inherited from the cost models: both built-in sides count
+        comparison steps, but the counting family charges nothing for its
+        counter bookkeeping (see the baselines benchmark), so the
+        arbitration is biased the same way the paper's operation metric
+        is.
 
         **Hysteresis.**  An applied family switch arms a cooldown of
         :attr:`AdaptationPolicy.switch_cooldown_intervals` further checks
@@ -416,92 +456,73 @@ class AdaptiveFilterEngine:
         restructure) stay available throughout.
         """
         matcher = self._matcher
-        measure = self.policy.attribute_measure
         cooldown_active = self._switch_cooldown > 0
         if cooldown_active:
             # This check elapses one cooldown interval (but is itself
             # still suppressed: arming N suppresses exactly N checks).
             self._switch_cooldown -= 1
 
-        # Index-family candidate, costed without building anything: a cheap
-        # recost of the live buckets when the index is already running, the
-        # bucket-free :meth:`IndexPlanner.plan_profiles` estimate otherwise.
-        # The candidate matcher itself is only built if the decision is
-        # applied.
-        if isinstance(matcher, PredicateIndexMatcher):
-            recosted = matcher.recost_plans(distributions)
-            index_cost = sum(plan.chosen_cost for plan in recosted.values())
-            predicted_current = matcher.estimated_cost(distributions)
-        else:
-            index_plans = IndexPlanner(
-                distributions, attribute_measure=measure
-            ).plan_profiles(self.profiles)
-            index_cost = sum(plan.chosen_cost for plan in index_plans.values())
-            predicted_current = expected_tree_cost(
-                matcher.tree, distributions
-            ).operations_per_event
+        current_spec = self._registry.owner_of(matcher)
+        best = None
+        best_spec = None
+        for spec in self._registry.arbitrating_specs():
+            candidate = spec.candidate(self._context_for(spec), matcher, distributions)
+            if candidate is None:
+                continue
+            if best is None or candidate.cost < best.cost:
+                best, best_spec = candidate, spec
+        if best is None:
+            return
 
-        # Tree-family candidate: the optimizer's configuration under the
-        # same distributions (one recipe with the pure-tree path, see
-        # :meth:`_tree_candidate`).  Workloads the tree model cannot
-        # express (partition construction fails) leave the tree side at
-        # +inf.
-        tree_cost = float("inf")
-        candidate_config = None
-        candidate_tree = None
-        try:
-            if isinstance(matcher, TreeMatcher):
-                partitions = matcher.partitions()
-            else:
-                partitions = build_partitions(self.profiles)
-            candidate_config, candidate_tree, tree_cost = self._tree_candidate(
-                distributions, partitions
-            )
-        except ReproError:
-            pass
-
-        if index_cost <= tree_cost:
-            chosen, predicted_candidate = "index", index_cost
-            label = "auto:index[P_e estimated]"
+        if current_spec is not None and current_spec.current_cost is not None:
+            predicted_current = current_spec.current_cost(matcher, distributions)
         else:
-            chosen, predicted_candidate = "tree", tree_cost
-            label = f"auto:tree[{candidate_config.label}]"
+            # An unknown (or cost-less) family cannot be compared, so any
+            # finite candidate is treated as an improvement.
+            predicted_current = float("inf")
         improvement = (
-            1.0 - predicted_candidate / predicted_current if predicted_current > 0 else 0.0
+            1.0 - best.cost / predicted_current if predicted_current > 0 else 0.0
         )
         applied = improvement >= self.policy.improvement_threshold
-        current_family = "index" if isinstance(matcher, PredicateIndexMatcher) else "tree"
-        is_switch = chosen != current_family
+        is_switch = current_spec is None or best_spec.name != current_spec.name
         suppressed = False
         if applied and is_switch and cooldown_active:
             applied = False
             suppressed = True
         if applied:
-            if chosen == "index":
-                if isinstance(matcher, PredicateIndexMatcher):
-                    matcher.replan(distributions)
-                else:
-                    self._matcher = PredicateIndexMatcher(
-                        self.profiles,
-                        planner=IndexPlanner(distributions, attribute_measure=measure),
-                    )
-            elif isinstance(matcher, TreeMatcher):
-                # Install the tree already built for costing.
-                matcher.adopt(candidate_tree, candidate_config)
-            else:
-                self._matcher = TreeMatcher.from_built(
-                    self.profiles, candidate_tree, candidate_config
-                )
+            self._adopt_matcher(best.install())
             if is_switch:
                 self._switch_cooldown = self.policy.switch_cooldown_intervals
         self._adaptations.append(
             AdaptationRecord(
                 event_count=self._events_filtered,
                 predicted_current=predicted_current,
-                predicted_candidate=predicted_candidate,
+                predicted_candidate=best.cost,
                 applied=applied,
-                configuration_label=label,
-                engine=chosen,
+                configuration_label=f"auto:{best.label}",
+                engine=best.family,
                 suppressed=suppressed,
             )
         )
+
+
+def resolve_policy_engine(
+    policy: AdaptationPolicy | None, engine: str | None
+) -> AdaptationPolicy:
+    """Resolve an ``engine=`` name against an optional policy.
+
+    The single site reconciling the two ways of choosing an engine
+    (used by :class:`~repro.service.broker.Broker` and
+    :class:`repro.api.FilterService`): raises on a conflict, otherwise
+    returns a policy whose ``engine`` is the requested one — validation
+    happens in the policy's ``__post_init__`` (the single registry
+    lookup).
+    """
+    if engine is not None and policy is not None and policy.engine != engine:
+        raise ServiceError(
+            f"conflicting engine choice: engine={engine!r} but the adaptation "
+            f"policy selects {policy.engine!r}; set one or the other"
+        )
+    if policy is None:
+        policy = AdaptationPolicy() if engine is None else AdaptationPolicy(engine=engine)
+    return policy

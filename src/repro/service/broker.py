@@ -11,7 +11,15 @@ quenching.
 Subscription churn is incremental: subscribe/unsubscribe flow through the
 engine's profile maintenance (postings deltas on the index family), so the
 filter structures, the event history and the adaptation state all survive
-churn; only the first subscription builds an engine.
+churn; only the first subscription builds an engine.  The same maintenance
+path backs the pause/resume/modify life-cycle
+(:meth:`Broker.pause_subscription` and friends) that
+:class:`repro.api.SubscriptionHandle` rides on.
+
+Engine selection goes through the engine registry
+(:mod:`repro.matching.registry`) via the
+:class:`~repro.service.adaptive.AdaptationPolicy`; the legacy
+``Broker(engine="...")`` keyword keeps working behind a deprecation shim.
 """
 
 from __future__ import annotations
@@ -19,14 +27,19 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable
 
-from repro.core.errors import ServiceError
+from repro.core.deprecation import warn_once
+from repro.core.errors import ServiceError, SubscriptionError
 from repro.core.events import Event
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.schema import Schema
 from repro.matching.interfaces import MatchResult
 from repro.matching.statistics import FilterStatistics
 from repro.matching.tree.config import TreeConfiguration
-from repro.service.adaptive import ENGINES, AdaptationPolicy, AdaptiveFilterEngine
+from repro.service.adaptive import (
+    AdaptationPolicy,
+    AdaptiveFilterEngine,
+    resolve_policy_engine,
+)
 from repro.service.notifications import Notification, NotificationLog, NotificationSink
 from repro.service.quenching import Quencher
 from repro.service.subscriptions import Subscription, SubscriptionRegistry
@@ -65,32 +78,32 @@ class Broker:
     ) -> None:
         self.broker_id = broker_id
         if engine is not None:
-            if engine not in ENGINES:
-                raise ServiceError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-            if adaptation_policy is not None and adaptation_policy.engine != engine:
-                raise ServiceError(
-                    f"conflicting engine choice: engine={engine!r} but the adaptation "
-                    f"policy selects {adaptation_policy.engine!r}; set one or the other"
-                )
-        self._engine_choice = engine
+            warn_once(
+                "repro.service.broker.Broker.engine",
+                "Broker(engine=...) is deprecated; pass "
+                "adaptation_policy=AdaptationPolicy(engine=...) or use "
+                "repro.api.FilterService(engine=...)",
+            )
+        # One registry lookup validates the engine choice (inside the
+        # policy's __post_init__); the broker no longer double-checks a
+        # hard-coded roster tuple.
+        self._adaptation_policy = resolve_policy_engine(adaptation_policy, engine)
         self._schema = schema
         self._registry = SubscriptionRegistry(schema)
         self._profiles = ProfileSet(schema)
         self._adaptive = adaptive
-        self._adaptation_policy = adaptation_policy
         self._configuration = configuration
         self._engine: AdaptiveFilterEngine | None = None
         self._statistics = FilterStatistics()
         self._log = NotificationLog()
         self._quencher: Quencher | None = Quencher(self._profiles) if enable_quenching else None
         self._quenched_events = 0
+        self._paused: set[str] = set()
         self._clock = 0.0
 
     # -- engine management --------------------------------------------------------
     def _make_engine(self) -> None:
-        policy = self._adaptation_policy or AdaptationPolicy()
-        if self._engine_choice is not None and policy.engine != self._engine_choice:
-            policy = replace(policy, engine=self._engine_choice)
+        policy = self._adaptation_policy
         if not self._adaptive:
             # A non-adaptive broker still uses the adaptive engine object but
             # with an interval large enough that it never restructures; this
@@ -121,14 +134,19 @@ class Broker:
         if self._quencher is not None:
             self._quencher.refresh()
 
-    def _detach_profile(self, profile_id: str) -> None:
-        """Remove one profile from the live filter component incrementally."""
+    def _detach_profile(self, profile_id: str, *, keep_engine: bool = False) -> None:
+        """Remove one profile from the live filter component incrementally.
+
+        ``keep_engine`` preserves the engine object even when the last
+        live profile detaches — the pause/modify life-cycle relies on
+        this so the event history, adaptation records and kernel stats
+        survive; plain unsubscription keeps the historical contract that
+        a broker without subscriptions has no engine (publishing delivers
+        nothing and records no filter statistics).
+        """
         if self._engine is not None:
             self._engine.remove_profile(profile_id)
-            if len(self._profiles) == 0:
-                # Keep the historical contract: a broker without
-                # subscriptions has no engine (publishing delivers nothing
-                # and records no filter statistics).
+            if len(self._profiles) == 0 and not keep_engine:
                 self._engine = None
         else:
             self._profiles.remove(profile_id)
@@ -167,6 +185,25 @@ class Broker:
     def quenched_events(self) -> int:
         """Return how many published events were quenched."""
         return self._quenched_events
+
+    @property
+    def adaptation_policy(self) -> AdaptationPolicy:
+        """Return the resolved adaptation policy (engine choice included)."""
+        return self._adaptation_policy
+
+    @property
+    def has_engine(self) -> bool:
+        """Return ``True`` once a filter engine exists (any live profile)."""
+        return self._engine is not None
+
+    @property
+    def paused_subscription_ids(self) -> frozenset[str]:
+        """Return the ids of the currently paused subscriptions."""
+        return frozenset(self._paused)
+
+    def is_paused(self, subscription_id: str) -> bool:
+        """Return ``True`` when the subscription is registered but paused."""
+        return subscription_id in self._paused
 
     def subscribe(
         self,
@@ -213,10 +250,72 @@ class Broker:
         return subscriptions
 
     def unsubscribe(self, subscription_id: str) -> Subscription:
-        """Remove a subscription and update the filter incrementally."""
+        """Remove a subscription and update the filter incrementally.
+
+        The engine (with its history and adaptation state) survives as
+        long as any subscription — live or paused — remains registered;
+        removing the very last one tears it down (the historical
+        no-subscription contract).
+        """
         subscription = self._registry.unsubscribe(subscription_id)
-        self._detach_profile(subscription.profile.profile_id)
+        keep_engine = len(self._registry) > 0
+        if subscription_id in self._paused:
+            # A paused subscription's profile is already out of the filter.
+            self._paused.discard(subscription_id)
+            if not keep_engine and len(self._profiles) == 0:
+                self._engine = None
+        else:
+            self._detach_profile(subscription.profile.profile_id, keep_engine=keep_engine)
         return subscription
+
+    # -- subscription life-cycle (pause / resume / modify) ---------------------------
+    def pause_subscription(self, subscription_id: str) -> Subscription:
+        """Stop delivering to a subscription without forgetting it.
+
+        The profile leaves the filter through the engine's incremental
+        maintenance (a postings delta on the index family — never a
+        rebuild); the subscription record, its sink and its id survive, so
+        :meth:`resume_subscription` restores delivery in place.
+        """
+        subscription = self._registry.get(subscription_id)
+        if subscription_id in self._paused:
+            raise SubscriptionError(f"subscription {subscription_id!r} is already paused")
+        self._detach_profile(subscription.profile.profile_id, keep_engine=True)
+        self._paused.add(subscription_id)
+        return subscription
+
+    def resume_subscription(self, subscription_id: str) -> Subscription:
+        """Re-attach a paused subscription's profile incrementally."""
+        subscription = self._registry.get(subscription_id)
+        if subscription_id not in self._paused:
+            raise SubscriptionError(f"subscription {subscription_id!r} is not paused")
+        self._attach_profile(subscription.profile)
+        self._paused.discard(subscription_id)
+        return subscription
+
+    def modify_subscription(self, subscription_id: str, profile: Profile) -> Subscription:
+        """Swap a subscription's profile, keeping id, subscriber and sink.
+
+        For a live subscription the old profile is detached and the new
+        one attached through the engine's incremental maintenance (the
+        engine object, its history and its adaptation state survive); a
+        paused subscription just records the new profile and attaches it
+        on resume.
+        """
+        old = self._registry.get(subscription_id)
+        updated = self._registry.replace_profile(subscription_id, profile)
+        if subscription_id in self._paused:
+            return updated
+        self._detach_profile(old.profile.profile_id, keep_engine=True)
+        try:
+            self._attach_profile(profile)
+        except Exception:
+            # Restore the old registration and filter state before
+            # propagating, so registry and engine never desync.
+            self._registry.replace_profile(subscription_id, old.profile)
+            self._attach_profile(old.profile)
+            raise
+        return updated
 
     # -- publishing --------------------------------------------------------------------
     def publish(self, event: Event, *, timestamp: float | None = None) -> PublishOutcome:

@@ -8,7 +8,7 @@ life-cycle of the service.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from repro.core.errors import SubscriptionError
@@ -68,6 +68,28 @@ class SubscriptionRegistry:
         self._by_profile_id[profile.profile_id] = subscription_id
         return subscription
 
+    def replace_profile(self, subscription_id: str, profile: Profile) -> Subscription:
+        """Swap the profile of an existing subscription (modify life-cycle).
+
+        The subscription keeps its id, subscriber and sink; only the
+        profile changes.  The new profile is validated against the schema
+        and its id must not collide with another subscription's profile.
+        Returns the updated subscription record.
+        """
+        subscription = self.get(subscription_id)
+        profile.validate(self._schema)
+        old_profile_id = subscription.profile.profile_id
+        existing = self._by_profile_id.get(profile.profile_id)
+        if existing is not None and existing != subscription_id:
+            raise SubscriptionError(
+                f"profile id {profile.profile_id!r} already has a subscription"
+            )
+        updated = replace(subscription, profile=profile)
+        self._subscriptions[subscription_id] = updated
+        del self._by_profile_id[old_profile_id]
+        self._by_profile_id[profile.profile_id] = subscription_id
+        return updated
+
     def unsubscribe(self, subscription_id: str) -> Subscription:
         """Remove a subscription and return it."""
         try:
@@ -92,6 +114,10 @@ class SubscriptionRegistry:
             return self._subscriptions[subscription_id]
         except KeyError as exc:
             raise SubscriptionError(f"unknown subscription id {subscription_id!r}") from exc
+
+    def has_profile_id(self, profile_id: str) -> bool:
+        """Return ``True`` when some subscription registers ``profile_id``."""
+        return profile_id in self._by_profile_id
 
     def by_profile_id(self, profile_id: str) -> Subscription:
         """Return the subscription registered for a profile id."""

@@ -1,0 +1,186 @@
+"""The fluent profile builder and its bit-identical compilation contract."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import ProfileBuilder, build_profiles, where
+from repro.core.domains import IntegerDomain
+from repro.core.errors import ProfileError
+from repro.core.events import Event
+from repro.core.predicates import (
+    DONT_CARE,
+    Equals,
+    NotEquals,
+    OneOf,
+    RangePredicate,
+)
+from repro.core.profiles import Profile, ProfileSet
+from repro.core.schema import Attribute, Schema
+from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+
+
+class TestBuilderBasics:
+    def test_single_clause(self):
+        built = where("symbol").eq("MSFT").build("P1")
+        assert built == Profile("P1", {"symbol": Equals("MSFT")})
+
+    def test_conjunction_operator(self):
+        built = (where("symbol").eq("MSFT") & where("price").between(10, 20)).build("P1")
+        hand = Profile(
+            "P1",
+            {"symbol": Equals("MSFT"), "price": RangePredicate.between(10, 20)},
+        )
+        assert built == hand
+        # Chain order defines the mapping order, exactly like a dict literal.
+        assert list(built.predicates) == list(hand.predicates)
+
+    def test_chained_where(self):
+        built = where("a").eq(1).where("b").at_least(2).where("c").less_than(5)
+        assert list(built.predicates()) == ["a", "b", "c"]
+
+    def test_every_comparison_compiles_to_the_expected_predicate(self):
+        cases = {
+            "eq": (where("x").eq(3), Equals(3)),
+            "ne": (where("x").ne(3), NotEquals(3)),
+            "one_of_varargs": (where("x").one_of(1, 2), OneOf((1, 2))),
+            "one_of_iterable": (where("x").one_of([1, 2]), OneOf((1, 2))),
+            "between": (where("x").between(1, 5), RangePredicate.between(1, 5)),
+            "open_between": (
+                where("x").between(1, 5, low_closed=False, high_closed=False),
+                RangePredicate.between(1, 5, low_closed=False, high_closed=False),
+            ),
+            "at_least": (where("x").at_least(2), RangePredicate.at_least(2)),
+            "at_most": (where("x").at_most(2), RangePredicate.at_most(2)),
+            "greater_than": (where("x").greater_than(2), RangePredicate.greater_than(2)),
+            "less_than": (where("x").less_than(2), RangePredicate.less_than(2)),
+            "any_value": (where("x").any_value(), DONT_CARE),
+            "satisfies": (where("x").satisfies(Equals(9)), Equals(9)),
+        }
+        for label, (builder, predicate) in cases.items():
+            assert builder.predicates() == {"x": predicate}, label
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ProfileError, match="already constrained"):
+            where("x").eq(1) & where("x").eq(2)
+        with pytest.raises(ProfileError, match="already constrained"):
+            where("x").eq(1).where("x").at_least(2)
+
+    def test_subscriber_and_priority_pass_through(self):
+        built = where("x").eq(1).build("P1", subscriber="alice", priority=3)
+        assert built.subscriber == "alice"
+        assert built.priority == 3
+
+    def test_build_profiles_generates_ids(self):
+        profiles = build_profiles(
+            [where("x").eq(1), where("x").eq(2)], id_prefix="sub", subscriber="a"
+        )
+        assert [p.profile_id for p in profiles] == ["sub-1", "sub-2"]
+        assert all(p.subscriber == "a" for p in profiles)
+
+    def test_builders_are_immutable_values(self):
+        base = where("x").eq(1)
+        extended = base & where("y").eq(2)
+        assert list(base.predicates()) == ["x"]
+        assert list(extended.predicates()) == ["x", "y"]
+        assert isinstance(base, ProfileBuilder)
+
+    def test_satisfies_rejects_non_predicates(self):
+        with pytest.raises(ProfileError, match="needs a Predicate"):
+            where("x").satisfies(7)
+
+
+# -- hypothesis equivalence: builder-made == hand-built, bit for bit ----------
+
+DOMAIN_SIZE = 12
+ATTRIBUTES = ("a", "b", "c")
+
+
+def make_schema() -> Schema:
+    return Schema([Attribute(name, IntegerDomain(0, DOMAIN_SIZE - 1)) for name in ATTRIBUTES])
+
+
+@st.composite
+def profile_pairs(draw):
+    """A hand-built predicate mapping plus the equivalent builder chain."""
+    hand: dict = {}
+    builder = None
+    constrained = draw(
+        st.lists(st.sampled_from(ATTRIBUTES), min_size=1, max_size=3, unique=True)
+    )
+    for name in constrained:
+        kind = draw(st.sampled_from(["eq", "ne", "one_of", "range", "at_least"]))
+        clause = where(name) if builder is None else builder.where(name)
+        if kind == "eq":
+            value = draw(st.integers(0, DOMAIN_SIZE - 1))
+            hand[name] = Equals(value)
+            builder = clause.eq(value)
+        elif kind == "ne":
+            value = draw(st.integers(0, DOMAIN_SIZE - 1))
+            hand[name] = NotEquals(value)
+            builder = clause.ne(value)
+        elif kind == "one_of":
+            values = draw(
+                st.lists(st.integers(0, DOMAIN_SIZE - 1), min_size=1, max_size=4)
+            )
+            hand[name] = OneOf(tuple(values))
+            builder = clause.one_of(values)
+        elif kind == "range":
+            low = draw(st.integers(0, DOMAIN_SIZE - 1))
+            high = draw(st.integers(low, DOMAIN_SIZE - 1))
+            hand[name] = RangePredicate.between(low, high)
+            builder = clause.between(low, high)
+        else:
+            low = draw(st.integers(0, DOMAIN_SIZE - 1))
+            hand[name] = RangePredicate.at_least(low)
+            builder = clause.at_least(low)
+    return hand, builder
+
+
+@st.composite
+def workload_pairs(draw):
+    """Parallel hand-built and builder-made profile sets plus events."""
+    schema = make_schema()
+    count = draw(st.integers(min_value=1, max_value=8))
+    hand_profiles = ProfileSet(schema)
+    built_profiles = ProfileSet(schema)
+    for index in range(count):
+        hand, builder = draw(profile_pairs())
+        hand_profiles.add(Profile(f"P{index}", hand))
+        built_profiles.add(builder.build(f"P{index}"))
+    events = [
+        Event({name: draw(st.integers(0, DOMAIN_SIZE - 1)) for name in ATTRIBUTES})
+        for _ in range(draw(st.integers(min_value=1, max_value=12)))
+    ]
+    return hand_profiles, built_profiles, events
+
+
+@given(workload_pairs())
+@settings(max_examples=60, deadline=None)
+def test_compiled_profiles_equal_hand_built_profiles(data):
+    hand_profiles, built_profiles, _ = data
+    for hand, built in zip(hand_profiles, built_profiles):
+        assert built == hand
+        assert list(built.predicates) == list(hand.predicates)
+
+
+@pytest.mark.parametrize("engine", ["tree", "index", "auto"])
+@given(data=workload_pairs())
+@settings(max_examples=25, deadline=None)
+def test_builder_profiles_match_bit_identically_across_engines(engine, data):
+    """Same ids, same order, same operation accounting — on every engine.
+
+    The adaptive engines are driven with a short cadence so replanning
+    fires inside the hypothesis run as well.
+    """
+    hand_profiles, built_profiles, events = data
+    policy = dict(engine=engine, reoptimize_interval=5, warmup_events=5)
+    hand_engine = AdaptiveFilterEngine(hand_profiles, policy=AdaptationPolicy(**policy))
+    built_engine = AdaptiveFilterEngine(built_profiles, policy=AdaptationPolicy(**policy))
+    hand_results = [hand_engine.match(event) for event in events]
+    built_results = [built_engine.match(event) for event in events]
+    assert built_results == hand_results  # ids, order, operations, levels
+    # The batch path agrees too (fresh engines, same workloads).
+    hand_engine = AdaptiveFilterEngine(hand_profiles, policy=AdaptationPolicy(**policy))
+    built_engine = AdaptiveFilterEngine(built_profiles, policy=AdaptationPolicy(**policy))
+    assert built_engine.match_batch(events) == hand_engine.match_batch(events)

@@ -1,0 +1,238 @@
+"""The pluggable engine registry (matching families roster)."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import MatchingError, ServiceError
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.matching import NaiveMatcher, PredicateIndexMatcher, TreeMatcher
+from repro.matching.registry import (
+    EngineCapabilities,
+    EngineContext,
+    EngineRegistry,
+    EngineSpec,
+    builtin_specs,
+    default_registry,
+)
+from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+from repro.service.broker import Broker
+
+
+def small_profiles() -> ProfileSet:
+    schema = Schema([Attribute("v", IntegerDomain(0, 99))])
+    return ProfileSet(schema, [profile(f"P{v}", v=v) for v in range(0, 100, 10)])
+
+
+class TestDefaultRegistry:
+    def test_builtin_roster(self):
+        registry = default_registry()
+        assert registry.names() == ("tree", "index")
+        assert registry.engine_names() == ("tree", "index", "auto")
+        assert "tree" in registry and "index" in registry
+        assert len(registry) == 2
+
+    def test_auto_starts_on_the_index_family(self):
+        assert default_registry().auto_start().name == "index"
+
+    def test_capability_flags(self):
+        registry = default_registry()
+        assert registry.spec("index").capabilities.incremental_maintenance
+        assert registry.spec("index").capabilities.batch_kernel
+        assert not registry.spec("tree").capabilities.batch_kernel
+
+    def test_owner_of_maps_matchers_to_families(self):
+        registry = default_registry()
+        profiles = small_profiles()
+        assert registry.owner_of(TreeMatcher(profiles)).name == "tree"
+        assert registry.owner_of(PredicateIndexMatcher(profiles)).name == "index"
+        assert registry.owner_of(NaiveMatcher(profiles)) is None
+
+    def test_unknown_engine_error_lists_registered_names(self):
+        with pytest.raises(MatchingError, match="tree, index, auto"):
+            default_registry().spec("quantum")
+
+    def test_auto_is_reserved(self):
+        registry = EngineRegistry()
+        with pytest.raises(MatchingError, match="reserved"):
+            registry.register(EngineSpec(name="auto", factory=lambda ctx: None))
+
+    def test_duplicate_registration_needs_replace(self):
+        registry = EngineRegistry(builtin_specs())
+        with pytest.raises(MatchingError, match="already registered"):
+            registry.register(EngineSpec(name="tree", factory=lambda ctx: None))
+        registry.register(
+            EngineSpec(name="tree", factory=lambda ctx: None), replace=True
+        )
+        assert registry.spec("tree").capabilities == EngineCapabilities()
+
+    def test_factories_build_the_right_families(self):
+        registry = default_registry()
+        profiles = small_profiles()
+        policy = AdaptationPolicy()
+        context = EngineContext(
+            profiles=profiles,
+            attribute_measure=policy.attribute_measure,
+            value_measure=policy.value_measure,
+            search=policy.search,
+        )
+        assert isinstance(registry.spec("tree").factory(context), TreeMatcher)
+        assert isinstance(registry.spec("index").factory(context), PredicateIndexMatcher)
+
+
+class _ScanSpy(NaiveMatcher):
+    """A third-party family: the naive scan, registered under a new name."""
+
+
+class TestThirdPartyEngines:
+    def make_registry(self) -> EngineRegistry:
+        registry = EngineRegistry(builtin_specs())
+        registry.register(
+            EngineSpec(
+                name="scan",
+                factory=lambda ctx: _ScanSpy(ctx.profiles),
+                owns=lambda matcher: isinstance(matcher, _ScanSpy),
+                description="sequential scan baseline",
+            )
+        )
+        return registry
+
+    def test_registered_engine_is_selectable_through_the_policy(self):
+        policy = AdaptationPolicy(engine="scan", registry=self.make_registry())
+        engine = AdaptiveFilterEngine(small_profiles(), policy=policy)
+        assert isinstance(engine.matcher, _ScanSpy)
+        assert engine.engine_family == "scan"
+        assert engine.match(Event({"v": 40})).matched_profile_ids == ("P40",)
+
+    def test_reoptimisation_is_skipped_without_a_hook(self):
+        """A family without a reoptimize hook filters indefinitely."""
+        policy = AdaptationPolicy(
+            engine="scan",
+            registry=self.make_registry(),
+            reoptimize_interval=10,
+            warmup_events=10,
+        )
+        engine = AdaptiveFilterEngine(small_profiles(), policy=policy)
+        rng = random.Random(4)
+        for _ in range(100):
+            engine.match(Event({"v": rng.randint(0, 99)}))
+        assert engine.adaptations() == []
+        assert isinstance(engine.matcher, _ScanSpy)
+
+    def test_third_party_engine_reaches_the_broker(self):
+        """The broker consults the registry via the policy — no service
+        changes needed for a new family."""
+        profiles = small_profiles()
+        broker = Broker(
+            profiles.schema,
+            adaptation_policy=AdaptationPolicy(engine="scan", registry=self.make_registry()),
+        )
+        for item in profiles:
+            broker.subscribe(item, "user")
+        outcome = broker.publish(Event({"v": 30}))
+        assert [n.profile_id for n in outcome.notifications] == ["P30"]
+        assert isinstance(broker.engine.matcher, _ScanSpy)
+
+    def test_policy_rejects_unknown_engine_with_roster_listing(self):
+        with pytest.raises(ServiceError, match="tree, index, auto"):
+            AdaptationPolicy(engine="quantum")
+
+    def test_custom_registry_does_not_leak_into_the_default(self):
+        self.make_registry()
+        assert "scan" not in default_registry()
+
+
+class TestAutoArbitrationOverRegistry:
+    def test_auto_consults_every_candidate_spec(self):
+        """A custom family whose candidate is always cheapest wins the
+        arbitration and gets installed."""
+        calls = []
+
+        def cheap_candidate(ctx, matcher, distributions):
+            from repro.matching.registry import EngineCandidate
+
+            calls.append(type(matcher).__name__)
+            return EngineCandidate(
+                "scan", 0.0, "scan[flat]", lambda: _ScanSpy(ctx.profiles)
+            )
+
+        registry = EngineRegistry(builtin_specs())
+        registry.register(
+            EngineSpec(
+                name="scan",
+                factory=lambda ctx: _ScanSpy(ctx.profiles),
+                owns=lambda matcher: isinstance(matcher, _ScanSpy),
+                candidate=cheap_candidate,
+                current_cost=lambda matcher, distributions: 0.0,
+                auto_rank=-1,
+            )
+        )
+        policy = AdaptationPolicy(
+            engine="auto",
+            registry=registry,
+            reoptimize_interval=50,
+            warmup_events=50,
+            improvement_threshold=0.0,
+            switch_cooldown_intervals=0,
+        )
+        engine = AdaptiveFilterEngine(small_profiles(), policy=policy)
+        # auto_rank -1 also makes the custom family the warmup start.
+        assert isinstance(engine.matcher, _ScanSpy)
+        rng = random.Random(5)
+        for _ in range(120):
+            engine.match(Event({"v": rng.randint(0, 99)}))
+        assert calls, "the custom candidate was never consulted"
+        records = engine.adaptations()
+        assert records and all(record.engine == "scan" for record in records)
+        assert all(
+            record.configuration_label == "auto:scan[flat]" for record in records
+        )
+
+    def test_min_columnar_batch_threads_to_the_index_matcher(self):
+        policy = AdaptationPolicy(engine="index", min_columnar_batch=4)
+        engine = AdaptiveFilterEngine(small_profiles(), policy=policy)
+        assert engine.matcher.min_columnar_batch == 4
+        # The registry-entry default can also carry the knob.
+        registry = EngineRegistry(
+            [
+                replace(spec, min_columnar_batch=7) if spec.name == "index" else spec
+                for spec in builtin_specs()
+            ]
+        )
+        engine = AdaptiveFilterEngine(
+            small_profiles(), policy=AdaptationPolicy(engine="index", registry=registry)
+        )
+        assert engine.matcher.min_columnar_batch == 7
+        # The policy knob wins over the registry entry.
+        engine = AdaptiveFilterEngine(
+            small_profiles(),
+            policy=AdaptationPolicy(
+                engine="index", registry=registry, min_columnar_batch=3
+            ),
+        )
+        assert engine.matcher.min_columnar_batch == 3
+
+    def test_min_columnar_batch_validation(self):
+        with pytest.raises(ServiceError):
+            AdaptationPolicy(min_columnar_batch=-1)
+        with pytest.raises(MatchingError):
+            PredicateIndexMatcher(small_profiles(), min_columnar_batch=-2)
+
+    def test_min_columnar_batch_controls_the_kernel_cutover(self):
+        """Batches at or above the knob run the columnar kernel (visible
+        through the matcher's accumulated KernelStats)."""
+        profiles = small_profiles()
+        events = [Event({"v": v}) for v in (0, 10, 20, 30, 40, 50)]
+        default = PredicateIndexMatcher(profiles)
+        default.match_batch(events)
+        assert default.kernel_stats.events == 0  # below MIN_COLUMNAR_BATCH=16
+        lowered = PredicateIndexMatcher(profiles, min_columnar_batch=4)
+        results = lowered.match_batch(events)
+        assert lowered.kernel_stats.events == len(events)
+        assert [r.matched_profile_ids for r in results] == [
+            (f"P{event['v']}",) for event in events
+        ]

@@ -278,20 +278,39 @@ class TestAutoSwitchHysteresis:
         for _ in range(count):
             engine.match(Event({"v": rng.randint(0, 99)}))
 
-    def make_flipping_engine(self, monkeypatch, *, cooldown: int) -> AdaptiveFilterEngine:
+    def make_flipping_engine(self, *, cooldown: int) -> AdaptiveFilterEngine:
         """An auto engine whose cost models always favour the *other* family.
 
-        The index side is pinned cheap via patched plan estimates and the
-        tree side pinned cheap/expensive via a patched
-        ``expected_tree_cost`` + candidate cost, so every check predicts a
-        worthwhile switch — the worst case the cooldown exists for.
+        The deterministic costs are injected through a policy-local
+        :class:`~repro.matching.registry.EngineRegistry`: the built-in
+        specs keep their real factories and install paths (so matching
+        semantics stay honest) but their cost estimators report whatever
+        family is *running* as expensive (10.0) and the other family's
+        candidate as cheap (1.0), so every check predicts a 10x payoff
+        from switching — the worst case the cooldown exists for.
         """
-        from types import SimpleNamespace
+        from dataclasses import replace
 
-        from repro.matching.index.planner import AttributePlan
-        from repro.service import adaptive as adaptive_module
+        from repro.matching.registry import EngineRegistry, builtin_specs
 
-        engine = AdaptiveFilterEngine(
+        def flipping(spec_name, real_candidate):
+            def candidate(ctx, matcher, distributions):
+                built = real_candidate(ctx, matcher, distributions)
+                running = "index" if isinstance(matcher, PredicateIndexMatcher) else "tree"
+                return replace(built, cost=10.0 if spec_name == running else 1.0)
+
+            return candidate
+
+        registry = EngineRegistry()
+        for spec in builtin_specs():
+            registry.register(
+                replace(
+                    spec,
+                    candidate=flipping(spec.name, spec.candidate),
+                    current_cost=lambda matcher, distributions: 10.0,
+                )
+            )
+        return AdaptiveFilterEngine(
             single_attribute_profiles(),
             policy=AdaptationPolicy(
                 engine="auto",
@@ -299,49 +318,12 @@ class TestAutoSwitchHysteresis:
                 warmup_events=100,
                 improvement_threshold=0.0,
                 switch_cooldown_intervals=cooldown,
+                registry=registry,
             ),
         )
-        cheap_plan = {"v": AttributePlan("v", True, 1.0, 2.0, 1)}
-        expensive_plan = {"v": AttributePlan("v", True, 10.0, 12.0, 1)}
 
-        # Whatever family runs is costed expensive while the *other*
-        # family's candidate is costed cheap, so every check predicts a
-        # 10x payoff from switching: while the index runs, its recosted
-        # plans and current estimate are expensive and the tree candidate
-        # is cheap; while the tree runs, its expected cost is expensive
-        # and the bucket-free index estimate is cheap.
-        monkeypatch.setattr(
-            adaptive_module.IndexPlanner,
-            "plan_profiles",
-            lambda self, profiles: dict(cheap_plan),
-        )
-        monkeypatch.setattr(
-            adaptive_module.PredicateIndexMatcher,
-            "recost_plans",
-            lambda self, distributions: dict(expensive_plan),
-        )
-        monkeypatch.setattr(
-            adaptive_module.PredicateIndexMatcher,
-            "estimated_cost",
-            lambda self, distributions=None: 10.0,
-        )
-        monkeypatch.setattr(
-            adaptive_module,
-            "expected_tree_cost",
-            lambda tree, distributions: SimpleNamespace(operations_per_event=10.0),
-        )
-        original = engine._tree_candidate
-
-        def flipping_tree_candidate(distributions, partitions):
-            configuration, tree, _ = original(distributions, partitions)
-            running_index = isinstance(engine.matcher, adaptive_module.PredicateIndexMatcher)
-            return configuration, tree, 1.0 if running_index else 10.0
-
-        engine._tree_candidate = flipping_tree_candidate
-        return engine
-
-    def test_cooldown_suppresses_immediate_switch_back(self, monkeypatch):
-        engine = self.make_flipping_engine(monkeypatch, cooldown=2)
+    def test_cooldown_suppresses_immediate_switch_back(self):
+        engine = self.make_flipping_engine(cooldown=2)
         self.drive(engine, 400)
         records = engine.adaptations()
         assert [(r.engine, r.applied, r.suppressed) for r in records] == [
@@ -353,8 +335,8 @@ class TestAutoSwitchHysteresis:
         # The suppressed decisions are observable but changed nothing.
         assert isinstance(engine.matcher, PredicateIndexMatcher)
 
-    def test_zero_cooldown_restores_thrashing(self, monkeypatch):
-        engine = self.make_flipping_engine(monkeypatch, cooldown=0)
+    def test_zero_cooldown_restores_thrashing(self):
+        engine = self.make_flipping_engine(cooldown=0)
         self.drive(engine, 400)
         records = engine.adaptations()
         assert len(records) == 4

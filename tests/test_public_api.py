@@ -1,15 +1,20 @@
 """Smoke tests of the public API surface and the toy-example helpers.
 
 These tests guard the import structure a downstream user relies on: every
-name re-exported by a package ``__init__`` must resolve, and the documented
-quickstart flow must work verbatim.
+name re-exported by a package ``__init__`` must resolve, the documented
+quickstart flow must work verbatim, and — strictest of all — the
+``repro.api`` facade is a **surface lock**: its exported names and their
+parameter lists are pinned below, so an accidental rename, removal or
+reordering fails CI instead of breaking downstream users.
 """
 
 import importlib
+import inspect
 
 import pytest
 
 import repro
+import repro.api
 from repro.core import Event, RangePredicate, profile
 from repro.matching import TreeMatcher
 from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure
@@ -22,9 +27,11 @@ from repro.workloads import (
 )
 
 PACKAGES = [
+    "repro.api",
     "repro.core",
     "repro.distributions",
     "repro.matching",
+    "repro.matching.index",
     "repro.matching.tree",
     "repro.selectivity",
     "repro.analysis",
@@ -75,3 +82,148 @@ def test_profile_helper_and_event_roundtrip():
     built = profile("alarm", temperature=RangePredicate.at_least(45))
     assert built.matches(Event({"temperature": 50}))
     assert not built.matches(Event({"temperature": 20}))
+
+
+# -- repro.api surface lock ---------------------------------------------------
+#
+# The facade is the compatibility boundary of the library: everything
+# below is a frozen contract.  A change here must be deliberate — update
+# the lock in the same commit and call it out in the changelog.
+
+API_SURFACE = {
+    # name: ordered parameter names of the callable (classes: __init__
+    # without self), or None for non-callable exports.
+    "AdaptationPolicy": (
+        "value_measure",
+        "attribute_measure",
+        "search",
+        "reoptimize_interval",
+        "warmup_events",
+        "improvement_threshold",
+        "history_length",
+        "engine",
+        "switch_cooldown_intervals",
+        "min_columnar_batch",
+        "registry",
+    ),
+    "AdaptationRecord": (
+        "event_count",
+        "predicted_current",
+        "predicted_candidate",
+        "applied",
+        "configuration_label",
+        "engine",
+        "suppressed",
+    ),
+    "Attribute": ("name", "domain", "unit", "description"),
+    "AttributeClause": ("attribute", "base"),
+    "EngineCapabilities": ("incremental_maintenance", "batch_kernel"),
+    "EngineRegistry": ("specs",),
+    "EngineSpec": (
+        "name",
+        "factory",
+        "capabilities",
+        "owns",
+        "supported_measures",
+        "candidate",
+        "current_cost",
+        "reoptimize",
+        "auto_rank",
+        "min_columnar_batch",
+        "description",
+    ),
+    "Event": ("values", "timestamp", "source"),
+    "FilterService": ("schema", "engine", "adaptive", "policy", "quenching", "service_id"),
+    "Profile": ("profile_id", "predicates", "subscriber", "priority"),
+    "ProfileBuilder": ("predicates",),
+    "PublishOutcome": ("event", "quenched", "match_result", "notifications"),
+    "Schema": ("attributes",),
+    "ServiceStats": (
+        "events",
+        "matched_events",
+        "notifications",
+        "operations",
+        "average_operations_per_event",
+        "average_matches_per_event",
+        "match_rate",
+        "quenched_events",
+        "subscriptions",
+        "paused_subscriptions",
+        "engine",
+        "engine_family",
+        "kernel",
+        "adaptations",
+    ),
+    "SubscriptionHandle": ("service", "subscription"),
+    "build_profiles": ("builders", "id_prefix", "subscriber"),
+    "default_registry": (),
+    "where": ("attribute",),
+}
+
+API_METHODS = {
+    # The verbs of the facade classes are part of the lock too.
+    "FilterService": {
+        "subscribe": ("profile", "subscriber", "profile_id", "sink"),
+        "subscribe_all": ("profiles", "subscriber"),
+        "publish": ("event",),
+        "publish_batch": ("events",),
+        "stats": (),
+        "engines": (),
+        "handle": ("subscription_id",),
+        "handles": (),
+    },
+    "SubscriptionHandle": {
+        "pause": (),
+        "resume": (),
+        "modify": ("profile",),
+        "cancel": (),
+        "notifications_received": (),
+    },
+}
+
+
+def _parameter_names(callable_) -> tuple:
+    return tuple(
+        name
+        for name in inspect.signature(callable_).parameters
+        if name not in ("self", "args", "kwargs")
+    )
+
+
+def test_api_surface_is_locked():
+    assert sorted(repro.api.__all__) == sorted(API_SURFACE), (
+        "repro.api exports changed; update the surface lock deliberately"
+    )
+    for name, expected in API_SURFACE.items():
+        obj = getattr(repro.api, name)
+        if expected is None:
+            continue
+        assert _parameter_names(obj) == expected, f"signature of repro.api.{name} changed"
+
+
+@pytest.mark.parametrize("class_name", sorted(API_METHODS))
+def test_api_methods_are_locked(class_name):
+    cls = getattr(repro.api, class_name)
+    for method_name, expected in API_METHODS[class_name].items():
+        method = getattr(cls, method_name)
+        assert _parameter_names(method) == expected, (
+            f"signature of repro.api.{class_name}.{method_name} changed"
+        )
+
+
+def test_api_quickstart_flow_matches_docstring():
+    """The package docstring's tour works verbatim."""
+    from repro.api import FilterService, where
+
+    service = FilterService(environmental_schema())
+    alarm = service.subscribe(
+        where("temperature").at_least(20) & where("humidity").between(80, 100),
+        subscriber="alice",
+    )
+    outcome = service.publish(example_event())
+    assert alarm.profile.profile_id in outcome.match_result.matched_profile_ids
+    alarm.pause()
+    alarm.modify(where("temperature").at_least(50))
+    alarm.resume()
+    alarm.cancel()
+    assert service.stats().events == 1
