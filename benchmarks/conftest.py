@@ -27,6 +27,7 @@ OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 _OPS_SUMMARY: dict[str, dict[str, float]] = {}
 _CHURN_SUMMARY: dict[str, dict[str, float]] = {}
 _BATCH_SUMMARY: dict[str, dict[str, float]] = {}
+_DELIVERY_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -101,13 +102,37 @@ def record_batch():
     return _record
 
 
+@pytest.fixture
+def record_delivery():
+    """Record one delivery-executor scenario for the summary dump.
+
+    The deterministic charged metrics (ops/event, matches/event) are
+    identical across executors — matching is upstream of delivery — so
+    the regression gate doubles as an executor-equivalence check.
+    Timing runs add ``wall_clock_seconds`` (gated loosely, local only)
+    and an informational ``events_per_second``.
+    """
+
+    def _record(scenario_name: str, statistics, **extra: float) -> None:
+        entry = {
+            "mean_operations_per_event": statistics.average_operations_per_event(),
+            "mean_matches_per_event": statistics.average_matches_per_event(),
+            "events": float(statistics.events),
+        }
+        entry.update(extra)
+        _DELIVERY_SUMMARY[scenario_name] = entry
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
         target = session.config.getoption("--bench-summary")
     except (ValueError, KeyError):
         return
-    if not target or (not _OPS_SUMMARY and not _CHURN_SUMMARY and not _BATCH_SUMMARY):
+    summaries = (_OPS_SUMMARY, _CHURN_SUMMARY, _BATCH_SUMMARY, _DELIVERY_SUMMARY)
+    if not target or not any(summaries):
         return
     directory = os.path.dirname(target)
     if directory:
@@ -118,6 +143,7 @@ def pytest_sessionfinish(session, exitstatus):
         "matchers": dict(sorted(_OPS_SUMMARY.items())),
         "churn": dict(sorted(_CHURN_SUMMARY.items())),
         "batch": dict(sorted(_BATCH_SUMMARY.items())),
+        "delivery": dict(sorted(_DELIVERY_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -52,7 +52,20 @@ statistics, the batch-kernel accounting and the adaptation history::
     snapshot.batch_dedup_factor
     snapshot.adaptations[-1].engine
 
-**6. Plug in an engine.**  Matcher families live in the engine registry
+**6. Take delivery off the hot path.**  The default executor runs sinks
+inline (synchronously); a heavy-traffic service hands them to a bounded
+worker pool or an asyncio loop — per-subscription FIFO order, bounded
+backpressure queues, and a draining close are guaranteed either way::
+
+    with FilterService(schema, delivery="threadpool", max_workers=8) as service:
+        service.subscribe(where("symbol").eq("MSFT"), sink=slow_webhook)
+        service.subscribe(where("price").at_least(100), sink=an_async_def_sink,
+                          delivery="asyncio")
+        service.publish_batch(ticks)      # matching never waits on a sink
+        service.drain()                   # barrier: all sinks caught up
+        service.stats().delivery          # dispatched/delivered/dropped/...
+
+**7. Plug in an engine.**  Matcher families live in the engine registry
 (:mod:`repro.matching.registry`); registering an
 :class:`~repro.matching.registry.EngineSpec` makes a third-party family
 selectable by name — globally via :func:`default_registry`, or per
@@ -79,6 +92,7 @@ from repro.matching.registry import (
 )
 from repro.service.adaptive import AdaptationPolicy, AdaptationRecord
 from repro.service.broker import PublishOutcome
+from repro.service.delivery import DeliveryStats
 from repro.api.service import FilterService, ServiceStats, SubscriptionHandle
 
 __all__ = [
@@ -86,6 +100,7 @@ __all__ = [
     "AdaptationRecord",
     "Attribute",
     "AttributeClause",
+    "DeliveryStats",
     "EngineCapabilities",
     "EngineRegistry",
     "EngineSpec",

@@ -28,8 +28,9 @@ from repro.service.adaptive import (
     resolve_policy_engine,
 )
 from repro.service.broker import Broker, PublishOutcome
+from repro.service.delivery import DeliveryStats
 from repro.service.notifications import NotificationLog, NotificationSink
-from repro.service.subscriptions import Subscription
+from repro.service.subscriptions import KEEP_DELIVERY, Subscription
 
 __all__ = ["FilterService", "ServiceStats", "SubscriptionHandle"]
 
@@ -81,6 +82,10 @@ class ServiceStats:
     kernel: KernelStats
     #: Every re-optimisation decision taken so far, oldest first.
     adaptations: tuple[AdaptationRecord, ...]
+    #: Notification-delivery accounting across every executor the
+    #: service instantiated (all-zero with ``mode="inline"`` when no
+    #: sink ever received a notification).
+    delivery: DeliveryStats = DeliveryStats()
 
     @property
     def batch_dedup_factor(self) -> float:
@@ -196,6 +201,31 @@ class SubscriptionHandle:
         )
         return self
 
+    def deliver_to(
+        self,
+        sink: NotificationSink | None,
+        *,
+        delivery: object = KEEP_DELIVERY,
+    ) -> "SubscriptionHandle":
+        """Pin this subscription's sink (and, optionally, delivery mode).
+
+        ``sink=None`` detaches the sink (the notification log still
+        records matches).  ``delivery`` routes this subscription's
+        notifications through the named executor (``"inline"``,
+        ``"threadpool"``, ``"asyncio"``); omitted, an existing pin is
+        kept, while an explicit ``None`` resets the subscription to the
+        service-default executor.  Notifications already queued for the
+        old sink still reach it — and when the re-pin *changes executor*,
+        new notifications may run before that backlog (FIFO holds per
+        (subscription, executor); call :meth:`FilterService.drain` first
+        for a clean handover).
+        """
+        self._require_live("redirect")
+        self._subscription = self._service.broker.set_subscription_sink(
+            self.subscription_id, sink, delivery=delivery
+        )
+        return self
+
     def cancel(self) -> Subscription:
         """Unsubscribe for good; further operations on the handle raise."""
         self._require_live("cancel")
@@ -231,6 +261,10 @@ class FilterService:
         policy: AdaptationPolicy | None = None,
         quenching: bool = False,
         service_id: str = "filter-service",
+        delivery: str = "inline",
+        max_workers: int | None = None,
+        queue_capacity: int | None = None,
+        overflow: str = "block",
     ) -> None:
         """Create a service over ``schema``.
 
@@ -242,6 +276,16 @@ class FilterService:
         and a custom
         :attr:`~repro.service.adaptive.AdaptationPolicy.registry` — and
         must agree with ``engine`` when both are given.
+
+        ``delivery`` selects the default notification executor
+        (``"inline"``: sinks run synchronously inside ``publish``, the
+        historical semantics; ``"threadpool"``: a bounded pool of
+        ``max_workers`` threads; ``"asyncio"``: async sinks awaited on a
+        service-owned event loop).  Asynchronous executors bound each
+        delivery lane at ``queue_capacity`` tasks and apply ``overflow``
+        (``"block"`` | ``"drop_oldest"`` | ``"raise"``) when a lane is
+        full.  Use the service as a context manager — or call
+        :meth:`close` — to drain in-flight deliveries on shutdown.
         """
         if policy is None and engine is None:
             engine = "auto"  # the facade serves the paper's adaptive framing
@@ -252,6 +296,10 @@ class FilterService:
             adaptive=adaptive,
             adaptation_policy=policy,
             enable_quenching=quenching,
+            delivery=delivery,
+            max_workers=max_workers,
+            queue_capacity=queue_capacity,
+            overflow=overflow,
         )
         self._handles: dict[str, SubscriptionHandle] = {}
         self._profile_counter = 0
@@ -338,16 +386,22 @@ class FilterService:
         subscriber: str = "anonymous",
         profile_id: str | None = None,
         sink: NotificationSink | None = None,
+        delivery: str | None = None,
     ) -> SubscriptionHandle:
         """Register a profile (or fluent builder) and return its handle.
 
         Builders compile under ``profile_id`` (auto-generated
         ``profile-N`` when omitted).  The subscription attaches through
         the engine's incremental maintenance; ``sink`` is invoked for
-        every delivered notification.
+        every delivered notification (an ``async def`` sink works too —
+        pair it with ``delivery="asyncio"``).  ``delivery`` pins this
+        subscription to one executor mode, overriding the service
+        default.
         """
         compiled = self._compile(profile, profile_id, subscriber)
-        subscription = self._broker.subscribe(compiled, subscriber, sink=sink)
+        subscription = self._broker.subscribe(
+            compiled, subscriber, sink=sink, delivery=delivery
+        )
         handle = SubscriptionHandle(self, subscription)
         self._handles[subscription.subscription_id] = handle
         return handle
@@ -387,6 +441,36 @@ class FilterService:
             [self._as_event(event) for event in events]
         )
 
+    # -- delivery life-cycle ---------------------------------------------------
+    def drain(self) -> None:
+        """Block until every queued notification reached (or missed) its sink.
+
+        A no-op under pure inline delivery; with ``threadpool`` /
+        ``asyncio`` executors this is the barrier tests and shutdown
+        paths use before reading sink-side state.
+        """
+        self._broker.drain_deliveries()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the delivery subsystem down (idempotent).
+
+        Drains the asynchronous executors by default so no accepted
+        notification is lost; ``drain=False`` discards queued deliveries
+        (counted as ``dropped`` in :attr:`ServiceStats.delivery`).  A
+        closed service rejects further publishing with
+        :class:`~repro.core.errors.DeliveryError`; statistics and
+        handles stay readable.
+        """
+        self._broker.close(drain=drain)
+
+    def __enter__(self) -> "FilterService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # Deliver what was accepted on a clean exit; on an exception
+        # prefer a fast shutdown over blocking on a backlog.
+        self.close(drain=exc_type is None)
+
     # -- observability ---------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Return one merged observability snapshot (see :class:`ServiceStats`)."""
@@ -420,6 +504,7 @@ class FilterService:
             engine_family=engine_family,
             kernel=kernel,
             adaptations=adaptations,
+            delivery=self._broker.delivery_stats(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - display helper

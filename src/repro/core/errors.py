@@ -20,6 +20,8 @@ __all__ = [
     "SelectivityError",
     "ServiceError",
     "SubscriptionError",
+    "DeliveryError",
+    "DeliveryOverflowError",
     "RoutingError",
     "SimulationError",
     "WorkloadError",
@@ -73,6 +75,14 @@ class ServiceError(ReproError):
 
 class SubscriptionError(ServiceError):
     """A subscription operation failed (duplicate id, unknown id, ...)."""
+
+
+class DeliveryError(ServiceError):
+    """A notification-delivery operation failed (closed executor, ...)."""
+
+
+class DeliveryOverflowError(DeliveryError):
+    """A bounded delivery queue overflowed under the ``"raise"`` policy."""
 
 
 class RoutingError(ServiceError):

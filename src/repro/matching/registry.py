@@ -21,9 +21,11 @@ matcher family registers one :class:`EngineSpec` bundling
 ``"auto"`` is not a family: it is the reserved arbitration mode that
 pits every registered family's candidate against the current matcher.
 :func:`default_registry` returns the process-wide registry, pre-populated
-with the built-in ``tree`` and ``index`` families; third-party engines
-become selectable by registering a spec — no change to ``repro.service``
-required::
+with the built-in ``tree`` and ``index`` families plus the ``counting``
+and ``naive`` baselines (selectable by name for experiments, but — with
+no cost estimator — never part of the ``auto`` arbitration); third-party
+engines become selectable by registering a spec — no change to
+``repro.service`` required::
 
     from repro.matching.registry import EngineSpec, default_registry
 
@@ -464,6 +466,33 @@ def _index_reoptimize(
     )
 
 
+def _counting_factory(ctx: EngineContext) -> "Matcher":
+    from repro.matching.counting import CountingMatcher
+
+    return CountingMatcher(ctx.profiles)
+
+
+def _counting_owns(matcher: "Matcher") -> bool:
+    from repro.matching.counting import CountingMatcher
+
+    # Exact type, not isinstance: a subclass registered as its own
+    # family (a common third-party pattern in the tests) must not be
+    # claimed by the baseline it derives from.
+    return type(matcher) is CountingMatcher
+
+
+def _naive_factory(ctx: EngineContext) -> "Matcher":
+    from repro.matching.naive import NaiveMatcher
+
+    return NaiveMatcher(ctx.profiles)
+
+
+def _naive_owns(matcher: "Matcher") -> bool:
+    from repro.matching.naive import NaiveMatcher
+
+    return type(matcher) is NaiveMatcher
+
+
 def _builtin_specs() -> tuple[EngineSpec, ...]:
     from repro.matching.index.planner import IndexPlanner
 
@@ -494,7 +523,29 @@ def _builtin_specs() -> tuple[EngineSpec, ...]:
         min_columnar_batch=None,
         description="predicate-index counting matcher, replanned via the IndexPlanner",
     )
-    return (tree, index)
+    # The two baseline families of the paper's related work, registered
+    # so the experiment harness and the benchmarks drive *every* matcher
+    # through one ``AdaptationPolicy(engine=...)`` switch.  Neither
+    # carries a cost estimator: they never participate in the ``auto``
+    # arbitration and never restructure periodically.
+    counting = EngineSpec(
+        name="counting",
+        factory=_counting_factory,
+        capabilities=EngineCapabilities(incremental_maintenance=False, batch_kernel=False),
+        owns=_counting_owns,
+        auto_rank=50,
+        description="predicate-counting baseline (shared predicates, rebuilt per change)",
+    )
+    naive = EngineSpec(
+        name="naive",
+        factory=_naive_factory,
+        # add/remove are O(1) set edits — trivially incremental.
+        capabilities=EngineCapabilities(incremental_maintenance=True, batch_kernel=False),
+        owns=_naive_owns,
+        auto_rank=60,
+        description="sequential per-profile scan baseline",
+    )
+    return (tree, index, counting, naive)
 
 
 _DEFAULT: EngineRegistry | None = None

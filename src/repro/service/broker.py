@@ -20,6 +20,14 @@ Engine selection goes through the engine registry
 (:mod:`repro.matching.registry`) via the
 :class:`~repro.service.adaptive.AdaptationPolicy`; the legacy
 ``Broker(engine="...")`` keyword keeps working behind a deprecation shim.
+
+Notification delivery is decoupled from matching through
+:mod:`repro.service.delivery`: matching produces a ``DeliveryPlan`` and
+the broker's dispatcher routes each sink invocation to the ``inline``
+(default), ``threadpool`` or ``asyncio`` executor — selected per broker
+(``Broker(delivery="threadpool")``) or pinned per subscription — with
+per-subscription FIFO ordering, bounded backpressure queues and a
+draining :meth:`Broker.close`.
 """
 
 from __future__ import annotations
@@ -40,9 +48,20 @@ from repro.service.adaptive import (
     AdaptiveFilterEngine,
     resolve_policy_engine,
 )
+from repro.service.delivery import (
+    DeliveryDispatcher,
+    DeliveryPlan,
+    DeliveryStats,
+    DeliveryTask,
+    validate_delivery_mode,
+)
 from repro.service.notifications import Notification, NotificationLog, NotificationSink
 from repro.service.quenching import Quencher
-from repro.service.subscriptions import Subscription, SubscriptionRegistry
+from repro.service.subscriptions import (
+    KEEP_DELIVERY,
+    Subscription,
+    SubscriptionRegistry,
+)
 
 __all__ = ["Broker", "PublishOutcome"]
 
@@ -75,6 +94,10 @@ class Broker:
         configuration: TreeConfiguration | None = None,
         enable_quenching: bool = False,
         engine: str | None = None,
+        delivery: str = "inline",
+        max_workers: int | None = None,
+        queue_capacity: int | None = None,
+        overflow: str = "block",
     ) -> None:
         self.broker_id = broker_id
         if engine is not None:
@@ -100,6 +123,12 @@ class Broker:
         self._quenched_events = 0
         self._paused: set[str] = set()
         self._clock = 0.0
+        self._delivery = DeliveryDispatcher(
+            delivery=delivery,
+            max_workers=max_workers,
+            queue_capacity=queue_capacity,
+            overflow=overflow,
+        )
 
     # -- engine management --------------------------------------------------------
     def _make_engine(self) -> None:
@@ -211,11 +240,37 @@ class Broker:
         subscriber: str,
         *,
         sink: NotificationSink | None = None,
+        delivery: str | None = None,
     ) -> Subscription:
-        """Register a subscription and update the filter incrementally."""
-        subscription = self._registry.subscribe(profile, subscriber, sink=sink)
+        """Register a subscription and update the filter incrementally.
+
+        ``delivery`` pins this subscription's sink to one executor mode
+        (``"inline"``, ``"threadpool"``, ``"asyncio"``); ``None`` rides
+        the broker's default executor.
+        """
+        if delivery is not None:
+            validate_delivery_mode(delivery)
+        subscription = self._registry.subscribe(
+            profile, subscriber, sink=sink, delivery=delivery
+        )
         self._attach_profile(profile)
         return subscription
+
+    def set_subscription_sink(
+        self,
+        subscription_id: str,
+        sink: NotificationSink | None,
+        *,
+        delivery: object = KEEP_DELIVERY,
+    ) -> Subscription:
+        """Re-pin a subscription's sink (and, optionally, delivery mode).
+
+        ``delivery`` defaults to keeping the current executor pin; pass a
+        mode name to re-pin or ``None`` to reset to the broker default.
+        """
+        if delivery is not KEEP_DELIVERY and delivery is not None:
+            validate_delivery_mode(delivery)
+        return self._registry.replace_sink(subscription_id, sink, delivery=delivery)
 
     def subscribe_all(
         self, profiles: Iterable[Profile], subscriber: str = "anonymous"
@@ -320,6 +375,7 @@ class Broker:
     # -- publishing --------------------------------------------------------------------
     def publish(self, event: Event, *, timestamp: float | None = None) -> PublishOutcome:
         """Publish one event: quench, filter, and deliver notifications."""
+        self._delivery.ensure_open()
         event.validate(self._schema, require_all=True)
         self._clock = timestamp if timestamp is not None else self._clock + 1.0
 
@@ -334,9 +390,20 @@ class Broker:
         return self._deliver(event, result, self._clock)
 
     def _deliver(self, event: Event, result: MatchResult, clock: float) -> PublishOutcome:
-        """Record statistics and deliver the notifications of one result."""
+        """Record statistics and dispatch the notifications of one result.
+
+        Matching, statistics and the notification log are settled *here*,
+        synchronously — they are bit-identical whatever executor runs the
+        sinks.  Sink invocation is decoupled through a
+        :class:`~repro.service.delivery.DeliveryPlan` handed to the
+        delivery dispatcher: the default ``inline`` executor preserves
+        the historical synchronous semantics, while ``threadpool`` /
+        ``asyncio`` deliveries complete in the background (await them
+        with :meth:`drain_deliveries` / :meth:`close`).
+        """
         self._statistics.record(result)
         notifications = []
+        tasks = []
         for profile_id in result.matched_profile_ids:
             subscription = self._registry.by_profile_id(profile_id)
             notification = Notification(
@@ -348,8 +415,18 @@ class Broker:
                 filter_operations=result.operations,
             )
             self._log.deliver(notification)
-            subscription.deliver(notification)
             notifications.append(notification)
+            if subscription.sink is not None:
+                tasks.append(
+                    DeliveryTask(
+                        subscription_id=subscription.subscription_id,
+                        sink=subscription.sink,
+                        notification=notification,
+                        delivery=subscription.delivery,
+                    )
+                )
+        if tasks:
+            self._delivery.dispatch(DeliveryPlan(tuple(tasks)))
         return PublishOutcome(event, False, result, tuple(notifications))
 
     def publish_batch(self, events: Iterable[Event]) -> list[PublishOutcome]:
@@ -368,6 +445,7 @@ class Broker:
         counting — so this is the publishing entry point for
         heavy-traffic pipelines.
         """
+        self._delivery.ensure_open()
         materialised = list(events)
         for event in materialised:
             event.validate(self._schema, require_all=True)
@@ -399,3 +477,29 @@ class Broker:
         filter path.
         """
         return [self.publish(event) for event in events]
+
+    # -- delivery life-cycle -----------------------------------------------------------
+    @property
+    def delivery(self) -> DeliveryDispatcher:
+        """Return the delivery dispatcher (executor roster + stats)."""
+        return self._delivery
+
+    def delivery_stats(self) -> DeliveryStats:
+        """Return one snapshot of the notification-delivery accounting."""
+        return self._delivery.stats()
+
+    def drain_deliveries(self) -> None:
+        """Block until every queued notification reached (or missed) its sink."""
+        self._delivery.drain()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the delivery subsystem down (idempotent).
+
+        ``drain=True`` (the default) delivers everything still queued on
+        the asynchronous executors before returning; ``drain=False``
+        discards queued deliveries (counted as ``dropped``).  A closed
+        broker rejects further publishing with
+        :class:`~repro.core.errors.DeliveryError`; subscriptions and
+        statistics stay readable.
+        """
+        self._delivery.close(drain=drain)

@@ -1,0 +1,174 @@
+"""``repro.service.delivery`` — pluggable notification-delivery executors.
+
+The broker's matching path produces a
+:class:`~repro.service.delivery.base.DeliveryPlan` per matched event and
+hands it to the :class:`DeliveryDispatcher`, which routes every task to
+one of three executors:
+
+* :class:`~repro.service.delivery.inline.InlineExecutor` — run the sink
+  synchronously on the publishing thread (the historical default; sink
+  errors propagate to the publisher);
+* :class:`~repro.service.delivery.threadpool.ThreadPoolDeliveryExecutor`
+  — a bounded worker pool with per-subscription FIFO lanes and a
+  backpressure queue;
+* :class:`~repro.service.delivery.aio.AsyncioDeliveryExecutor` — async
+  sinks ``await``-ed on an event loop owned by the service.
+
+The service default is selected per
+:class:`~repro.api.FilterService` (``delivery="threadpool"``) and can be
+pinned per subscription (``subscribe(..., delivery="asyncio")``); all
+executors guarantee per-subscription FIFO ordering (strictly: per
+(subscription, executor) — re-pinning a live subscription to a new
+executor starts a fresh lane; drain first for a clean handover),
+at-most-once dispatch, bounded queues with a ``block`` /
+``drop_oldest`` / ``raise`` overflow policy, and a graceful draining
+``close()``.  Matching results
+are bit-identical whichever executor delivers — the executors consume
+*already matched* plans and the matcher hot path never blocks inside a
+sink.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DeliveryError
+from repro.service.delivery.aio import AsyncioDeliveryExecutor
+from repro.service.delivery.base import (
+    DELIVERY_MODES,
+    OVERFLOW_POLICIES,
+    DeliveryExecutor,
+    DeliveryPlan,
+    DeliveryTask,
+    validate_delivery_mode,
+    validate_overflow_policy,
+)
+from repro.service.delivery.inline import InlineExecutor
+from repro.service.delivery.stats import DeliveryCounters, DeliveryStats
+from repro.service.delivery.threadpool import ThreadPoolDeliveryExecutor
+
+__all__ = [
+    "DELIVERY_MODES",
+    "OVERFLOW_POLICIES",
+    "AsyncioDeliveryExecutor",
+    "DeliveryCounters",
+    "DeliveryDispatcher",
+    "DeliveryExecutor",
+    "DeliveryPlan",
+    "DeliveryStats",
+    "DeliveryTask",
+    "InlineExecutor",
+    "ThreadPoolDeliveryExecutor",
+    "validate_delivery_mode",
+    "validate_overflow_policy",
+]
+
+
+class DeliveryDispatcher:
+    """Route delivery plans to executors, lazily building each mode.
+
+    One dispatcher per broker: it owns the service-default mode, builds
+    each executor with its *own*
+    :class:`~repro.service.delivery.stats.DeliveryCounters` (so an
+    executor's ``stats()`` reports exactly its own work) and fans the
+    tasks of a plan out by their pinned mode; :meth:`stats` aggregates
+    the per-executor snapshots into one service-level view.
+    """
+
+    def __init__(
+        self,
+        *,
+        delivery: str = "inline",
+        max_workers: int | None = None,
+        queue_capacity: int | None = None,
+        overflow: str = "block",
+    ) -> None:
+        self._default_mode = validate_delivery_mode(delivery)
+        self._overflow = validate_overflow_policy(overflow)
+        if max_workers is not None and max_workers < 1:
+            raise DeliveryError("max_workers must be at least 1")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise DeliveryError("queue_capacity must be at least 1")
+        self._max_workers = max_workers if max_workers is not None else 4
+        self._queue_capacity = queue_capacity if queue_capacity is not None else 1024
+        self._executors: dict[str, DeliveryExecutor] = {}
+        self._closed = False
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def default_mode(self) -> str:
+        """Return the service-default delivery mode."""
+        return self._default_mode
+
+    @property
+    def closed(self) -> bool:
+        """Return ``True`` once :meth:`close` ran."""
+        return self._closed
+
+    def ensure_open(self) -> None:
+        """Raise :class:`~repro.core.errors.DeliveryError` once closed."""
+        if self._closed:
+            raise DeliveryError(
+                "the delivery subsystem is closed; create a new service to publish"
+            )
+
+    # -- executor roster --------------------------------------------------------
+    def _build_executor(self, mode: str) -> DeliveryExecutor:
+        if mode == "inline":
+            return InlineExecutor()
+        if mode == "threadpool":
+            return ThreadPoolDeliveryExecutor(
+                max_workers=self._max_workers,
+                queue_capacity=self._queue_capacity,
+                overflow=self._overflow,
+            )
+        return AsyncioDeliveryExecutor(
+            queue_capacity=self._queue_capacity,
+            overflow=self._overflow,
+        )
+
+    def executor_for(self, mode: str | None) -> DeliveryExecutor:
+        """Return (building on first use) the executor of ``mode``."""
+        resolved = self._default_mode if mode is None else validate_delivery_mode(mode)
+        executor = self._executors.get(resolved)
+        if executor is None:
+            self.ensure_open()
+            executor = self._executors[resolved] = self._build_executor(resolved)
+        return executor
+
+    # -- dispatch ---------------------------------------------------------------
+    def dispatch(self, plan: DeliveryPlan) -> None:
+        """Submit every task of a plan to its (pinned or default) executor."""
+        for task in plan.tasks:
+            self.executor_for(task.delivery).submit(task)
+
+    # -- life-cycle -------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until no executor holds queued or in-flight deliveries."""
+        for executor in self._executors.values():
+            executor.drain()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Close every executor (idempotent); drains by default."""
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors.values():
+            executor.close(drain=drain)
+
+    def stats(self) -> DeliveryStats:
+        """Return one aggregated snapshot across every instantiated executor.
+
+        Counts are summed; ``max_pending`` is the sum of the per-executor
+        high-water marks (an upper bound of the true combined backlog
+        peak, since the executors peak independently).
+        """
+        snapshots = [executor.stats() for executor in self._executors.values()]
+        return DeliveryStats(
+            mode=self._default_mode,
+            dispatched=sum(s.dispatched for s in snapshots),
+            delivered=sum(s.delivered for s in snapshots),
+            failed=sum(s.failed for s in snapshots),
+            dropped=sum(s.dropped for s in snapshots),
+            pending=sum(s.pending for s in snapshots),
+            max_pending=sum(s.max_pending for s in snapshots),
+            executors=tuple(self._executors),
+        )

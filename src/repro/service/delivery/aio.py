@@ -1,0 +1,179 @@
+"""Asyncio delivery: async sinks on an event loop owned by the service.
+
+The executor owns one long-lived event loop on a background thread.
+Every subscription gets its own FIFO lane (a bounded deque) with one
+consumer coroutine that pops tasks and ``await``s async sinks (plain
+callables are invoked directly on the loop) — per-subscription FIFO is a
+consequence of the single consumer per lane, while *different*
+subscriptions' sinks interleave cooperatively on the loop, which is the
+point: a thousand slow ``await``-ing subscribers cost one thread.
+
+Publisher-side backpressure mirrors the threadpool executor: each lane
+holds at most ``queue_capacity`` tasks and a full lane applies the
+``block`` / ``drop_oldest`` / ``raise`` overflow policy at ``submit``
+time, on the publishing thread.  Sink exceptions are swallowed and
+counted (``failed``), never propagated into the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+import time
+from collections import deque
+
+from repro.core.errors import DeliveryError, DeliveryOverflowError
+from repro.service.delivery.base import DeliveryTask, validate_overflow_policy
+from repro.service.delivery.stats import DeliveryCounters, DeliveryStats
+
+__all__ = ["AsyncioDeliveryExecutor"]
+
+
+class AsyncioDeliveryExecutor:
+    """Deliver notifications on a service-owned asyncio event loop."""
+
+    name = "asyncio"
+
+    def __init__(
+        self,
+        *,
+        queue_capacity: int = 1024,
+        overflow: str = "block",
+        counters: DeliveryCounters | None = None,
+    ) -> None:
+        if queue_capacity < 1:
+            raise DeliveryError("queue_capacity must be at least 1")
+        self._overflow = validate_overflow_policy(overflow)
+        self._capacity = queue_capacity
+        self._counters = counters if counters is not None else DeliveryCounters()
+        #: Guards the lanes, the consumer roster and the closed flag; the
+        #: condition is notified whenever a lane frees a slot.
+        self._condition = threading.Condition()
+        self._lanes: dict[str, deque[DeliveryTask]] = {}
+        self._consuming: set[str] = set()
+        #: Tasks popped by a consumer but not yet executed; a
+        #: non-draining close reconciles them as dropped (the stopped
+        #: loop will never resume the suspended coroutine).
+        self._in_flight = 0
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-delivery-asyncio", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # -- publisher side ---------------------------------------------------------
+    def submit(self, task: DeliveryTask) -> None:
+        subscription_id = task.subscription_id
+        with self._condition:
+            if self._closed:
+                raise DeliveryError("the asyncio delivery executor is closed")
+            lane = self._lanes.setdefault(subscription_id, deque())
+            while len(lane) >= self._capacity:
+                if self._overflow == "drop_oldest":
+                    lane.popleft()
+                    self._counters.discarded()
+                elif self._overflow == "raise":
+                    raise DeliveryOverflowError(
+                        f"delivery lane full ({self._capacity} tasks) for "
+                        f"subscription {subscription_id!r}"
+                    )
+                else:  # block: wait for the consumer to free a slot
+                    self._condition.wait()
+                    if self._closed:
+                        raise DeliveryError(
+                            "the asyncio delivery executor closed while "
+                            "waiting for queue space"
+                        )
+                    lane = self._lanes.setdefault(subscription_id, deque())
+            lane.append(task)
+            self._counters.accepted()
+            if subscription_id not in self._consuming:
+                self._consuming.add(subscription_id)
+                # Scheduled while still holding the condition (the call
+                # only enqueues a loop callback): close() cannot stop
+                # the loop between acceptance and scheduling.
+                asyncio.run_coroutine_threadsafe(
+                    self._consume(subscription_id), self._loop
+                )
+
+    # -- loop side --------------------------------------------------------------
+    async def _consume(self, subscription_id: str) -> None:
+        """Drain one subscription's lane serially (the FIFO guarantee)."""
+        while True:
+            with self._condition:
+                lane = self._lanes.get(subscription_id)
+                if not lane:
+                    self._consuming.discard(subscription_id)
+                    self._lanes.pop(subscription_id, None)
+                    self._condition.notify_all()  # close() awaits consumer exit
+                    return
+                task = lane.popleft()
+                self._in_flight += 1
+                self._condition.notify_all()
+            ok = True
+            try:
+                result = task.sink(task.notification)
+                if inspect.isawaitable(result):
+                    await result
+            except BaseException:
+                # BaseException included: a sink raising SystemExit must
+                # neither kill the lane's consumer nor leak the pending
+                # count (hanging every later drain()).
+                ok = False
+            with self._condition:
+                self._in_flight -= 1
+                self._counters.executed(ok=ok)
+
+    # -- life-cycle -------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every accepted task was delivered or dropped."""
+        self._counters.wait_idle()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the loop; by default queued deliveries complete first.
+
+        ``_closed`` is set *before* draining (as on the threadpool), so
+        a publish racing the close either completes its submit first —
+        and the task is drained — or gets the contractual
+        :class:`~repro.core.errors.DeliveryError`; an accepted task can
+        never slip in behind the drain and be silently discarded.
+        """
+        if not self._thread.is_alive():
+            return
+        with self._condition:
+            self._closed = True  # no further submissions from here on
+            if not drain:
+                for lane in self._lanes.values():
+                    self._counters.discarded(len(lane))
+                    lane.clear()
+            self._condition.notify_all()
+        if drain:
+            # The loop still runs: the consumers empty their lanes.
+            self._counters.wait_idle()
+        with self._condition:
+            # Let the consumer coroutines observe their empty/cleared
+            # lanes and deregister before the loop stops (bounded: an
+            # async sink hung mid-await must not hang close forever).
+            deadline = time.monotonic() + 1.0
+            while self._consuming and time.monotonic() < deadline:
+                self._condition.wait(timeout=0.05)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        with self._condition:
+            if self._in_flight:
+                # A consumer died suspended mid-await when the loop
+                # stopped (non-draining close); its task will never
+                # execute — account it as dropped so the at-most-once
+                # invariant holds and drain() can never hang.
+                self._counters.discarded(self._in_flight)
+                self._in_flight = 0
+
+    def stats(self) -> DeliveryStats:
+        return self._counters.snapshot(mode=self.name, executors=(self.name,))

@@ -1,0 +1,194 @@
+"""Delivery-subsystem value objects and the executor protocol.
+
+The matching hot path produces a :class:`DeliveryPlan` — the pure *what*
+of one event's fan-out (which sink receives which notification, in what
+per-subscription order) — and hands it to a
+:class:`~repro.service.delivery.DeliveryDispatcher`, which routes every
+:class:`DeliveryTask` to a :class:`DeliveryExecutor` (the *how*: inline,
+bounded thread pool, or asyncio event loop).  The split is the seam the
+ROADMAP called out on ``FilterService.publish_batch``: matching never
+waits on a sink, and a slow subscriber stalls at most its own delivery
+lane.
+
+Executor contract
+-----------------
+
+* **Per-subscription FIFO** — for one subscription id, sinks observe
+  notifications in submission order, whatever the executor.
+* **At-most-once** — a submitted task is executed once, or dropped once
+  (counted in :class:`~repro.service.delivery.stats.DeliveryStats`);
+  never retried, never duplicated.
+* **Bounded backpressure** — asynchronous executors bound each delivery
+  lane at ``queue_capacity`` tasks and apply one of the
+  :data:`OVERFLOW_POLICIES` when a lane is full: ``"block"`` (the
+  publisher waits for space — backpressure), ``"drop_oldest"`` (the
+  oldest queued task of that lane is discarded) or ``"raise"``
+  (:class:`~repro.core.errors.DeliveryOverflowError`).
+* **Graceful close** — ``close(drain=True)`` delivers everything queued
+  before returning; ``drain()`` waits for in-flight work without
+  closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.errors import DeliveryError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.service.delivery.stats import DeliveryStats
+    from repro.service.notifications import Notification, NotificationSink
+
+__all__ = [
+    "DELIVERY_MODES",
+    "OVERFLOW_POLICIES",
+    "DeliveryExecutor",
+    "DeliveryPlan",
+    "DeliveryTask",
+    "invoke_sink",
+    "validate_delivery_mode",
+    "validate_overflow_policy",
+]
+
+#: Selectable delivery executors, in documentation order.  ``"inline"``
+#: is the historical synchronous behaviour and the default.
+DELIVERY_MODES = ("inline", "threadpool", "asyncio")
+
+#: Reactions of a full bounded delivery lane.
+OVERFLOW_POLICIES = ("block", "drop_oldest", "raise")
+
+
+def validate_delivery_mode(mode: str) -> str:
+    """Return ``mode`` or raise the standard unknown-mode error."""
+    if mode not in DELIVERY_MODES:
+        raise DeliveryError(
+            f"unknown delivery mode {mode!r}; available modes: "
+            f"{', '.join(DELIVERY_MODES)}"
+        )
+    return mode
+
+
+def validate_overflow_policy(policy: str) -> str:
+    """Return ``policy`` or raise the standard unknown-policy error."""
+    if policy not in OVERFLOW_POLICIES:
+        raise DeliveryError(
+            f"unknown overflow policy {policy!r}; available policies: "
+            f"{', '.join(OVERFLOW_POLICIES)}"
+        )
+    return policy
+
+
+@dataclass(frozen=True)
+class DeliveryTask:
+    """One sink invocation: deliver ``notification`` to ``sink``.
+
+    ``delivery`` carries the subscription's pinned executor mode
+    (``None``: the service default) so one dispatcher can fan a single
+    event out across several executors.
+    """
+
+    subscription_id: str
+    sink: "NotificationSink"
+    notification: "Notification"
+    delivery: str | None = None
+
+
+@dataclass(frozen=True)
+class DeliveryPlan:
+    """The complete fan-out of one matched event, in delivery order.
+
+    Built by the broker *after* matching and statistics recording;
+    everything concurrency-sensitive starts downstream of this object, so
+    matching results are bit-identical whatever executor consumes it.
+    (The matched event itself lives on each task's notification.)
+    """
+
+    tasks: tuple[DeliveryTask, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+@runtime_checkable
+class DeliveryExecutor(Protocol):
+    """Protocol implemented by all delivery executors."""
+
+    #: Executor mode name (one of :data:`DELIVERY_MODES`).
+    name: str
+
+    def submit(self, task: DeliveryTask) -> None:
+        """Accept one task for delivery (raises once closed)."""
+        ...
+
+    def drain(self) -> None:
+        """Block until every accepted task was executed or dropped."""
+        ...
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the executor; ``drain=False`` discards queued tasks."""
+        ...
+
+    def stats(self) -> "DeliveryStats":
+        """Return a consistent snapshot of the delivery accounting."""
+        ...
+
+
+async def _drive(awaitable) -> None:
+    await awaitable
+
+
+#: One long-lived bridge loop per thread for async sinks on synchronous
+#: executors (a fresh loop per notification would be hot-path overhead).
+_BRIDGE = threading.local()
+
+
+def _bridge_loop() -> asyncio.AbstractEventLoop:
+    loop = getattr(_BRIDGE, "loop", None)
+    if loop is None or loop.is_closed():
+        loop = asyncio.new_event_loop()
+        _BRIDGE.loop = loop
+    return loop
+
+
+def close_bridge_loop() -> None:
+    """Close the calling thread's bridge loop, if one was ever created.
+
+    Called by executor worker threads on exit so the loop's selector
+    file descriptors do not outlive the thread.  Safe to call on threads
+    that never bridged an async sink.
+    """
+    loop = getattr(_BRIDGE, "loop", None)
+    if loop is not None and not loop.is_closed():
+        loop.close()
+    _BRIDGE.loop = None
+
+
+def invoke_sink(sink: "NotificationSink", notification: "Notification") -> None:
+    """Run one sink to completion, bridging async sinks from sync code.
+
+    Plain callables are invoked directly.  A coroutine (or any awaitable)
+    returned by an ``async def`` sink is driven on a long-lived
+    per-thread bridge loop — correct from any executor, though the
+    asyncio executor is the right home for async sinks (it awaits them
+    on its own service-owned loop).  Raises
+    :class:`~repro.core.errors.DeliveryError` when the calling thread
+    already runs an event loop (driving a nested loop would deadlock):
+    pin such subscriptions to ``delivery="asyncio"``.
+    """
+    result = sink(notification)
+    if inspect.isawaitable(result):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            _bridge_loop().run_until_complete(_drive(result))
+        else:
+            if inspect.iscoroutine(result):
+                result.close()  # silence the never-awaited warning
+            raise DeliveryError(
+                "an async sink cannot be driven synchronously from inside a "
+                "running event loop; pin the subscription to delivery='asyncio'"
+            )

@@ -1,0 +1,49 @@
+"""Synchronous in-publisher-thread delivery (the historical default).
+
+``submit`` runs the sink before returning, on the publishing thread, so
+``publish()`` keeps today's semantics exactly: when it returns, every
+sink has observed its notification, and a sink exception propagates to
+the publisher (asynchronous executors instead swallow and count sink
+failures — a subscriber bug must not kill a shared worker).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DeliveryError
+from repro.service.delivery.base import DeliveryTask, invoke_sink
+from repro.service.delivery.stats import DeliveryCounters, DeliveryStats
+
+__all__ = ["InlineExecutor"]
+
+
+class InlineExecutor:
+    """Run every sink synchronously on the publishing thread."""
+
+    name = "inline"
+
+    def __init__(self, counters: DeliveryCounters | None = None) -> None:
+        self._counters = counters if counters is not None else DeliveryCounters()
+        self._closed = False
+
+    def submit(self, task: DeliveryTask) -> None:
+        if self._closed:
+            raise DeliveryError("the inline delivery executor is closed")
+        self._counters.accepted()
+        ok = False
+        try:
+            invoke_sink(task.sink, task.notification)
+            ok = True
+        finally:
+            # try/finally so even a BaseException-raising sink (e.g.
+            # sys.exit) can never leak a pending count and hang drain();
+            # inline semantics: the publisher sees the sink error.
+            self._counters.executed(ok=ok)
+
+    def drain(self) -> None:
+        """Nothing is ever pending: submit already ran the sink."""
+
+    def close(self, *, drain: bool = True) -> None:
+        self._closed = True
+
+    def stats(self) -> DeliveryStats:
+        return self._counters.snapshot(mode=self.name, executors=(self.name,))

@@ -1,0 +1,113 @@
+"""Thread-safe delivery accounting.
+
+Executors mutate one :class:`DeliveryCounters` under its lock;
+:meth:`DeliveryCounters.snapshot` freezes the numbers into the
+:class:`DeliveryStats` value object that
+:class:`repro.api.ServiceStats` exposes as its ``delivery`` field.
+
+The counters obey one invariant the tests pin down (at-most-once
+dispatch)::
+
+    dispatched == delivered + failed + dropped + pending
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["DeliveryCounters", "DeliveryStats"]
+
+
+@dataclass(frozen=True)
+class DeliveryStats:
+    """One consistent snapshot of a service's notification delivery.
+
+    All-zero (with ``mode="inline"`` and no instantiated executors) for a
+    service that never delivered through a sink.
+    """
+
+    #: Default executor mode of the service (``"inline"`` historically).
+    mode: str = "inline"
+    #: Tasks accepted by an executor (excludes overflow-rejected ones).
+    dispatched: int = 0
+    #: Sinks that ran to completion.
+    delivered: int = 0
+    #: Sinks that raised; asynchronous executors swallow the error (a bad
+    #: subscriber must not kill a worker), count it here and move on.
+    failed: int = 0
+    #: Tasks discarded by the ``drop_oldest`` overflow policy or by a
+    #: non-draining ``close``.
+    dropped: int = 0
+    #: Tasks accepted but not yet executed (queued or in flight).
+    pending: int = 0
+    #: High-water mark of ``pending`` (backpressure visibility).
+    max_pending: int = 0
+    #: Executor modes actually instantiated, in first-use order.
+    executors: tuple[str, ...] = ()
+
+
+@dataclass
+class DeliveryCounters:
+    """Mutable, lock-guarded accumulator behind :class:`DeliveryStats`.
+
+    The lock doubles as the condition executors notify whenever
+    ``pending`` drops, which is what ``drain()`` waits on.
+    """
+
+    dispatched: int = 0
+    delivered: int = 0
+    failed: int = 0
+    dropped: int = 0
+    pending: int = 0
+    max_pending: int = 0
+    _condition: threading.Condition = field(
+        default_factory=threading.Condition, repr=False
+    )
+
+    def accepted(self, count: int = 1) -> None:
+        """Record tasks entering an executor's queue."""
+        with self._condition:
+            self.dispatched += count
+            self.pending += count
+            if self.pending > self.max_pending:
+                self.max_pending = self.pending
+
+    def executed(self, *, ok: bool) -> None:
+        """Record one task leaving the queue through its sink."""
+        with self._condition:
+            if ok:
+                self.delivered += 1
+            else:
+                self.failed += 1
+            self.pending -= 1
+            self._condition.notify_all()
+
+    def discarded(self, count: int = 1) -> None:
+        """Record queued tasks dropped before execution."""
+        if count <= 0:
+            return
+        with self._condition:
+            self.dropped += count
+            self.pending -= count
+            self._condition.notify_all()
+
+    def wait_idle(self) -> None:
+        """Block until no task is queued or in flight."""
+        with self._condition:
+            while self.pending > 0:
+                self._condition.wait()
+
+    def snapshot(self, *, mode: str, executors: tuple[str, ...] = ()) -> DeliveryStats:
+        """Freeze the counters into a :class:`DeliveryStats`."""
+        with self._condition:
+            return DeliveryStats(
+                mode=mode,
+                dispatched=self.dispatched,
+                delivered=self.delivered,
+                failed=self.failed,
+                dropped=self.dropped,
+                pending=self.pending,
+                max_pending=self.max_pending,
+                executors=executors,
+            )

@@ -1,0 +1,186 @@
+"""Bounded worker-pool delivery with per-subscription FIFO lanes.
+
+``max_workers`` daemon threads each serve a fixed subset of
+subscriptions: a subscription id is hashed to one worker, so every
+notification of one subscription runs on the same thread in submission
+order — the per-subscription FIFO guarantee falls out of the routing,
+with no cross-lane synchronisation on the delivery path.  A worker
+executes its subscriptions' tasks in arrival order (one shared run
+queue per worker).
+
+Capacity is **per subscription**, exactly as on the asyncio executor:
+each subscription may have at most ``queue_capacity`` tasks queued, and
+a full subscription lane applies the executor's overflow policy at
+``submit`` time — to that subscription alone, never to others sharing
+the worker.  ``"block"`` parks the publisher until the worker frees a
+slot (backpressure — the matcher is throttled by delivery, never
+blocked *inside* a sink), ``"drop_oldest"`` discards the subscription's
+oldest queued task (at-most-once: the dropped task is gone for good,
+counted in the stats), ``"raise"`` surfaces
+:class:`~repro.core.errors.DeliveryOverflowError` to the publisher.
+
+Sink exceptions are swallowed and counted (``failed``): a broken
+subscriber must not take down a worker shared with other subscriptions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+from repro.core.errors import DeliveryError, DeliveryOverflowError
+from repro.service.delivery.base import (
+    DeliveryTask,
+    close_bridge_loop,
+    invoke_sink,
+    validate_overflow_policy,
+)
+from repro.service.delivery.stats import DeliveryCounters, DeliveryStats
+
+__all__ = ["ThreadPoolDeliveryExecutor"]
+
+
+class _Lane:
+    """One worker's run queue, per-subscription occupancy and wakeup."""
+
+    __slots__ = ("condition", "queue", "queued_per_subscription")
+
+    def __init__(self) -> None:
+        self.condition = threading.Condition()
+        #: Tasks in arrival order across the worker's subscriptions.
+        self.queue: deque[DeliveryTask] = deque()
+        #: Queued tasks per subscription (the capacity unit).
+        self.queued_per_subscription: Counter = Counter()
+
+    def pop_oldest_of(self, subscription_id: str) -> DeliveryTask:
+        """Remove and return the subscription's oldest queued task."""
+        for index, task in enumerate(self.queue):
+            if task.subscription_id == subscription_id:
+                del self.queue[index]
+                return task
+        raise AssertionError(  # pragma: no cover - guarded by the counter
+            f"no queued task for subscription {subscription_id!r}"
+        )
+
+
+class ThreadPoolDeliveryExecutor:
+    """Deliver notifications on a bounded pool of worker threads."""
+
+    name = "threadpool"
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        queue_capacity: int = 1024,
+        overflow: str = "block",
+        counters: DeliveryCounters | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise DeliveryError("max_workers must be at least 1")
+        if queue_capacity < 1:
+            raise DeliveryError("queue_capacity must be at least 1")
+        self._overflow = validate_overflow_policy(overflow)
+        self._capacity = queue_capacity
+        self._counters = counters if counters is not None else DeliveryCounters()
+        self._closed = False
+        self._lanes = [_Lane() for _ in range(max_workers)]
+        self._workers = [
+            threading.Thread(
+                target=self._work,
+                args=(lane,),
+                name=f"repro-delivery-{index}",
+                daemon=True,
+            )
+            for index, lane in enumerate(self._lanes)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- publisher side ---------------------------------------------------------
+    def _lane_for(self, subscription_id: str) -> _Lane:
+        # Stable within the process is all FIFO needs; hash() is stable
+        # per run (per-subscription ordering never crosses processes).
+        return self._lanes[hash(subscription_id) % len(self._lanes)]
+
+    def submit(self, task: DeliveryTask) -> None:
+        subscription_id = task.subscription_id
+        lane = self._lane_for(subscription_id)
+        with lane.condition:
+            if self._closed:
+                raise DeliveryError("the threadpool delivery executor is closed")
+            while lane.queued_per_subscription[subscription_id] >= self._capacity:
+                if self._overflow == "drop_oldest":
+                    lane.pop_oldest_of(subscription_id)
+                    lane.queued_per_subscription[subscription_id] -= 1
+                    self._counters.discarded()
+                elif self._overflow == "raise":
+                    raise DeliveryOverflowError(
+                        f"delivery lane full ({self._capacity} tasks) for "
+                        f"subscription {subscription_id!r}"
+                    )
+                else:  # block: wait for the worker to free a slot
+                    lane.condition.wait()
+                    if self._closed:
+                        raise DeliveryError(
+                            "the threadpool delivery executor closed while "
+                            "waiting for queue space"
+                        )
+            lane.queue.append(task)
+            lane.queued_per_subscription[subscription_id] += 1
+            self._counters.accepted()
+            lane.condition.notify_all()
+
+    # -- worker side ------------------------------------------------------------
+    def _work(self, lane: _Lane) -> None:
+        try:
+            self._serve(lane)
+        finally:
+            close_bridge_loop()  # async-sink bridge loop dies with the thread
+
+    def _serve(self, lane: _Lane) -> None:
+        while True:
+            with lane.condition:
+                while not lane.queue and not self._closed:
+                    lane.condition.wait()
+                if not lane.queue:
+                    return  # closed and fully drained
+                task = lane.queue.popleft()
+                remaining = lane.queued_per_subscription[task.subscription_id] - 1
+                if remaining > 0:
+                    lane.queued_per_subscription[task.subscription_id] = remaining
+                else:
+                    del lane.queued_per_subscription[task.subscription_id]
+                lane.condition.notify_all()
+            ok = True
+            try:
+                invoke_sink(task.sink, task.notification)
+            except BaseException:
+                # BaseException included: a sink calling sys.exit must
+                # neither kill the worker (orphaning its lane) nor leak
+                # the pending count (hanging every later drain()).
+                ok = False
+            self._counters.executed(ok=ok)
+
+    # -- life-cycle -------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every accepted task was delivered or dropped."""
+        self._counters.wait_idle()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the pool; by default the workers finish their queues first."""
+        if self._closed and not any(worker.is_alive() for worker in self._workers):
+            return
+        for lane in self._lanes:
+            with lane.condition:
+                if not drain:
+                    self._counters.discarded(len(lane.queue))
+                    lane.queue.clear()
+                    lane.queued_per_subscription.clear()
+                self._closed = True
+                lane.condition.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    def stats(self) -> DeliveryStats:
+        return self._counters.snapshot(mode=self.name, executors=(self.name,))

@@ -9,16 +9,25 @@ statistics.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping
+from typing import Awaitable, Callable, Iterator, Mapping
 
 from repro.core.events import Event
 
-__all__ = ["Notification", "NotificationLog", "NotificationSink"]
+__all__ = ["AsyncNotificationSink", "Notification", "NotificationLog", "NotificationSink"]
 
-#: Callback type invoked for every delivered notification.
+#: Callback type invoked for every delivered notification.  A sink may
+#: also be an ``async def`` returning an awaitable
+#: (:data:`AsyncNotificationSink`); the delivery executors of
+#: :mod:`repro.service.delivery` drive either kind — async sinks are
+#: awaited on the asyncio executor's own event loop and bridged through a
+#: private loop elsewhere.
 NotificationSink = Callable[["Notification"], None]
+
+#: An ``async def`` notification sink (awaited by the delivery layer).
+AsyncNotificationSink = Callable[["Notification"], Awaitable[None]]
 
 
 @dataclass(frozen=True)
@@ -36,52 +45,64 @@ class Notification:
 
 
 class NotificationLog:
-    """In-memory sink collecting notifications for inspection."""
+    """In-memory sink collecting notifications for inspection.
+
+    Thread-safe: a log may serve as the sink of subscriptions delivered
+    through the threadpool or asyncio executors, whose sinks run off the
+    publishing thread.
+    """
 
     def __init__(self) -> None:
         self._notifications: list[Notification] = []
         self._per_profile: Counter = Counter()
         self._per_subscriber: Counter = Counter()
+        self._lock = threading.Lock()
 
     def __call__(self, notification: Notification) -> None:
         self.deliver(notification)
 
     def deliver(self, notification: Notification) -> None:
         """Record one notification."""
-        self._notifications.append(notification)
-        self._per_profile[notification.profile_id] += 1
-        if notification.subscriber is not None:
-            self._per_subscriber[notification.subscriber] += 1
+        with self._lock:
+            self._notifications.append(notification)
+            self._per_profile[notification.profile_id] += 1
+            if notification.subscriber is not None:
+                self._per_subscriber[notification.subscriber] += 1
 
     # -- access ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._notifications)
+        with self._lock:
+            return len(self._notifications)
 
     def __iter__(self) -> Iterator[Notification]:
-        return iter(self._notifications)
+        return iter(self.all())
 
     def all(self) -> list[Notification]:
         """Return every recorded notification in delivery order."""
-        return list(self._notifications)
+        with self._lock:
+            return list(self._notifications)
 
     def for_profile(self, profile_id: str) -> list[Notification]:
         """Return the notifications of one profile."""
-        return [n for n in self._notifications if n.profile_id == profile_id]
+        return [n for n in self.all() if n.profile_id == profile_id]
 
     def for_subscriber(self, subscriber: str) -> list[Notification]:
         """Return the notifications of one subscriber."""
-        return [n for n in self._notifications if n.subscriber == subscriber]
+        return [n for n in self.all() if n.subscriber == subscriber]
 
     def count_per_profile(self) -> Mapping[str, int]:
         """Return the notification counts keyed by profile id."""
-        return dict(self._per_profile)
+        with self._lock:
+            return dict(self._per_profile)
 
     def count_per_subscriber(self) -> Mapping[str, int]:
         """Return the notification counts keyed by subscriber."""
-        return dict(self._per_subscriber)
+        with self._lock:
+            return dict(self._per_subscriber)
 
     def clear(self) -> None:
         """Forget all recorded notifications."""
-        self._notifications.clear()
-        self._per_profile.clear()
-        self._per_subscriber.clear()
+        with self._lock:
+            self._notifications.clear()
+            self._per_profile.clear()
+            self._per_subscriber.clear()

@@ -14,9 +14,14 @@ from typing import Iterator
 from repro.core.errors import SubscriptionError
 from repro.core.profiles import Profile, ProfileSet
 from repro.core.schema import Schema
-from repro.service.notifications import Notification, NotificationSink
+from repro.service.notifications import NotificationSink
 
-__all__ = ["Subscription", "SubscriptionRegistry"]
+__all__ = ["KEEP_DELIVERY", "Subscription", "SubscriptionRegistry"]
+
+#: Sentinel for :meth:`SubscriptionRegistry.replace_sink`: keep the
+#: subscription's current delivery pin (``None`` would *reset* it to the
+#: service default, which is a distinct, deliberate action).
+KEEP_DELIVERY = object()
 
 
 @dataclass(frozen=True)
@@ -27,11 +32,10 @@ class Subscription:
     profile: Profile
     subscriber: str
     sink: NotificationSink | None = None
-
-    def deliver(self, notification: Notification) -> None:
-        """Invoke the subscription's sink, if any."""
-        if self.sink is not None:
-            self.sink(notification)
+    #: Pinned delivery mode for this subscription's sink (one of
+    #: :data:`repro.service.delivery.DELIVERY_MODES`); ``None`` rides the
+    #: service-default executor.
+    delivery: str | None = None
 
 
 class SubscriptionRegistry:
@@ -50,6 +54,7 @@ class SubscriptionRegistry:
         subscriber: str,
         *,
         sink: NotificationSink | None = None,
+        delivery: str | None = None,
         subscription_id: str | None = None,
     ) -> Subscription:
         """Register a subscription for ``profile`` on behalf of ``subscriber``."""
@@ -63,10 +68,35 @@ class SubscriptionRegistry:
             subscription_id = f"sub-{self._counter}"
         if subscription_id in self._subscriptions:
             raise SubscriptionError(f"duplicate subscription id {subscription_id!r}")
-        subscription = Subscription(subscription_id, profile, subscriber, sink)
+        subscription = Subscription(subscription_id, profile, subscriber, sink, delivery)
         self._subscriptions[subscription_id] = subscription
         self._by_profile_id[profile.profile_id] = subscription_id
         return subscription
+
+    def replace_sink(
+        self,
+        subscription_id: str,
+        sink: NotificationSink | None,
+        *,
+        delivery: object = KEEP_DELIVERY,
+    ) -> Subscription:
+        """Re-pin a subscription's sink and delivery mode in place.
+
+        The subscription keeps its id, subscriber and profile; only the
+        delivery target changes.  ``delivery`` defaults to the
+        :data:`KEEP_DELIVERY` sentinel — swapping only the sink preserves
+        an existing executor pin; pass ``None`` explicitly to reset the
+        subscription to the service-default executor.  Notifications
+        already queued with the old sink still reach it (at-most-once
+        dispatch is per task).  Returns the updated subscription record.
+        """
+        subscription = self.get(subscription_id)
+        if delivery is KEEP_DELIVERY:
+            updated = replace(subscription, sink=sink)
+        else:
+            updated = replace(subscription, sink=sink, delivery=delivery)
+        self._subscriptions[subscription_id] = updated
+        return updated
 
     def replace_profile(self, subscription_id: str, profile: Profile) -> Subscription:
         """Swap the profile of an existing subscription (modify life-cycle).

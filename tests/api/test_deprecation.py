@@ -37,7 +37,7 @@ class TestEnginesTupleShim:
         def read():
             from repro.service import adaptive
 
-            assert adaptive.ENGINES == ("tree", "index", "auto")
+            assert adaptive.ENGINES == ("tree", "index", "counting", "naive", "auto")
 
         emitted = collect_deprecations(read)
         assert len(emitted) == 1

@@ -10,7 +10,12 @@ from repro.core.errors import MatchingError, ServiceError
 from repro.core.events import Event
 from repro.core.profiles import ProfileSet, profile
 from repro.core.schema import Attribute, Schema
-from repro.matching import NaiveMatcher, PredicateIndexMatcher, TreeMatcher
+from repro.matching import (
+    CountingMatcher,
+    NaiveMatcher,
+    PredicateIndexMatcher,
+    TreeMatcher,
+)
 from repro.matching.registry import (
     EngineCapabilities,
     EngineContext,
@@ -31,10 +36,11 @@ def small_profiles() -> ProfileSet:
 class TestDefaultRegistry:
     def test_builtin_roster(self):
         registry = default_registry()
-        assert registry.names() == ("tree", "index")
-        assert registry.engine_names() == ("tree", "index", "auto")
+        assert registry.names() == ("tree", "index", "counting", "naive")
+        assert registry.engine_names() == ("tree", "index", "counting", "naive", "auto")
         assert "tree" in registry and "index" in registry
-        assert len(registry) == 2
+        assert "counting" in registry and "naive" in registry
+        assert len(registry) == 4
 
     def test_auto_starts_on_the_index_family(self):
         assert default_registry().auto_start().name == "index"
@@ -50,10 +56,11 @@ class TestDefaultRegistry:
         profiles = small_profiles()
         assert registry.owner_of(TreeMatcher(profiles)).name == "tree"
         assert registry.owner_of(PredicateIndexMatcher(profiles)).name == "index"
-        assert registry.owner_of(NaiveMatcher(profiles)) is None
+        assert registry.owner_of(CountingMatcher(profiles)).name == "counting"
+        assert registry.owner_of(NaiveMatcher(profiles)).name == "naive"
 
     def test_unknown_engine_error_lists_registered_names(self):
-        with pytest.raises(MatchingError, match="tree, index, auto"):
+        with pytest.raises(MatchingError, match="tree, index, counting, naive, auto"):
             default_registry().spec("quantum")
 
     def test_auto_is_reserved(self):
@@ -82,6 +89,82 @@ class TestDefaultRegistry:
         )
         assert isinstance(registry.spec("tree").factory(context), TreeMatcher)
         assert isinstance(registry.spec("index").factory(context), PredicateIndexMatcher)
+        assert isinstance(registry.spec("counting").factory(context), CountingMatcher)
+        assert isinstance(registry.spec("naive").factory(context), NaiveMatcher)
+
+
+class TestBaselineFamilies:
+    """The counting/naive baselines as first-class registry families."""
+
+    def test_selectable_through_the_policy(self):
+        for name, expected in (("counting", CountingMatcher), ("naive", NaiveMatcher)):
+            policy = AdaptationPolicy(engine=name)
+            engine = AdaptiveFilterEngine(small_profiles(), policy=policy)
+            assert type(engine.matcher) is expected
+            assert engine.engine_family == name
+            assert engine.match(Event({"v": 40})).matched_profile_ids == ("P40",)
+
+    def test_no_participation_in_auto_arbitration(self):
+        """No cost estimator: the baselines never arbitrate, and auto
+        still starts on the index family."""
+        registry = default_registry()
+        assert [spec.name for spec in registry.arbitrating_specs()] == ["index", "tree"]
+        assert registry.auto_start().name == "index"
+
+    def test_no_periodic_restructuring(self):
+        policy = AdaptationPolicy(
+            engine="counting", reoptimize_interval=10, warmup_events=10
+        )
+        engine = AdaptiveFilterEngine(small_profiles(), policy=policy)
+        rng = random.Random(7)
+        for _ in range(60):
+            engine.match(Event({"v": rng.randint(0, 99)}))
+        assert engine.adaptations() == []
+        assert type(engine.matcher) is CountingMatcher
+
+    def test_baselines_reach_the_broker_by_name(self):
+        profiles = small_profiles()
+        for name in ("counting", "naive"):
+            broker = Broker(
+                profiles.schema, adaptation_policy=AdaptationPolicy(engine=name)
+            )
+            for item in profiles:
+                broker.subscribe(item, "user")
+            outcome = broker.publish(Event({"v": 30}))
+            assert [n.profile_id for n in outcome.notifications] == ["P30"]
+            broker.unsubscribe(
+                broker.subscriptions.by_profile_id("P30").subscription_id
+            )
+            assert broker.publish(Event({"v": 30})).notifications == ()
+
+    def test_every_family_agrees_on_a_churned_workload(self):
+        """One engine switch drives all four families to identical
+        notifications — the experiment-harness contract."""
+        events = [Event({"v": v}) for v in (0, 15, 30, 30, 80, 99)]
+        reference = None
+        for name in ("tree", "index", "counting", "naive"):
+            engine = AdaptiveFilterEngine(
+                small_profiles(), policy=AdaptationPolicy(engine=name)
+            )
+            engine.remove_profile("P50")
+            engine.add_profile(profile("P50", v=50))
+            matched = [engine.match(event).matched_profile_ids for event in events]
+            if reference is None:
+                reference = matched
+            assert matched == reference, name
+
+    def test_capability_flags(self):
+        registry = default_registry()
+        assert not registry.spec("counting").capabilities.incremental_maintenance
+        assert registry.spec("naive").capabilities.incremental_maintenance
+        assert not registry.spec("counting").capabilities.batch_kernel
+        assert not registry.spec("naive").capabilities.batch_kernel
+
+    def test_ownership_is_exact_type(self):
+        """Subclasses (third-party families) are not claimed by the
+        baselines they derive from."""
+        registry = default_registry()
+        assert registry.owner_of(_ScanSpy(small_profiles())) is None
 
 
 class _ScanSpy(NaiveMatcher):
@@ -138,7 +221,7 @@ class TestThirdPartyEngines:
         assert isinstance(broker.engine.matcher, _ScanSpy)
 
     def test_policy_rejects_unknown_engine_with_roster_listing(self):
-        with pytest.raises(ServiceError, match="tree, index, auto"):
+        with pytest.raises(ServiceError, match="tree, index, counting, naive, auto"):
             AdaptationPolicy(engine="quantum")
 
     def test_custom_registry_does_not_leak_into_the_default(self):

@@ -303,6 +303,12 @@ class TestAutoSwitchHysteresis:
 
         registry = EngineRegistry()
         for spec in builtin_specs():
+            if spec.candidate is None:
+                # The counting/naive baselines carry no cost estimator;
+                # they sit the arbitration out here exactly as they do
+                # on the default roster.
+                registry.register(spec)
+                continue
             registry.register(
                 replace(
                     spec,

@@ -132,8 +132,29 @@ API_SURFACE = {
         "min_columnar_batch",
         "description",
     ),
+    "DeliveryStats": (
+        "mode",
+        "dispatched",
+        "delivered",
+        "failed",
+        "dropped",
+        "pending",
+        "max_pending",
+        "executors",
+    ),
     "Event": ("values", "timestamp", "source"),
-    "FilterService": ("schema", "engine", "adaptive", "policy", "quenching", "service_id"),
+    "FilterService": (
+        "schema",
+        "engine",
+        "adaptive",
+        "policy",
+        "quenching",
+        "service_id",
+        "delivery",
+        "max_workers",
+        "queue_capacity",
+        "overflow",
+    ),
     "Profile": ("profile_id", "predicates", "subscriber", "priority"),
     "ProfileBuilder": ("predicates",),
     "PublishOutcome": ("event", "quenched", "match_result", "notifications"),
@@ -153,6 +174,7 @@ API_SURFACE = {
         "engine_family",
         "kernel",
         "adaptations",
+        "delivery",
     ),
     "SubscriptionHandle": ("service", "subscription"),
     "build_profiles": ("builders", "id_prefix", "subscriber"),
@@ -163,7 +185,7 @@ API_SURFACE = {
 API_METHODS = {
     # The verbs of the facade classes are part of the lock too.
     "FilterService": {
-        "subscribe": ("profile", "subscriber", "profile_id", "sink"),
+        "subscribe": ("profile", "subscriber", "profile_id", "sink", "delivery"),
         "subscribe_all": ("profiles", "subscriber"),
         "publish": ("event",),
         "publish_batch": ("events",),
@@ -171,11 +193,14 @@ API_METHODS = {
         "engines": (),
         "handle": ("subscription_id",),
         "handles": (),
+        "drain": (),
+        "close": ("drain",),
     },
     "SubscriptionHandle": {
         "pause": (),
         "resume": (),
         "modify": ("profile",),
+        "deliver_to": ("sink", "delivery"),
         "cancel": (),
         "notifications_received": (),
     },
@@ -209,6 +234,25 @@ def test_api_methods_are_locked(class_name):
         assert _parameter_names(method) == expected, (
             f"signature of repro.api.{class_name}.{method_name} changed"
         )
+
+
+def test_filter_service_is_a_context_manager():
+    """``with FilterService(...)`` drains and closes on exit (the
+    delivery life-cycle is part of the locked surface)."""
+    from repro.api import FilterService, where
+    from repro.core.errors import DeliveryError
+
+    with FilterService(environmental_schema(), delivery="threadpool") as service:
+        received = []
+        service.subscribe(
+            where("temperature").at_least(20), sink=received.append, subscriber="a"
+        )
+        service.publish(example_event())
+        service.drain()
+        assert len(received) == 1
+        assert service.stats().delivery.delivered == 1
+    with pytest.raises(DeliveryError):
+        service.publish(example_event())
 
 
 def test_api_quickstart_flow_matches_docstring():
