@@ -28,6 +28,7 @@ _OPS_SUMMARY: dict[str, dict[str, float]] = {}
 _CHURN_SUMMARY: dict[str, dict[str, float]] = {}
 _BATCH_SUMMARY: dict[str, dict[str, float]] = {}
 _DELIVERY_SUMMARY: dict[str, dict[str, float]] = {}
+_SHARDED_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -125,13 +126,43 @@ def record_delivery():
     return _record
 
 
+@pytest.fixture
+def record_sharded():
+    """Record one sharded-matcher scenario for the summary dump.
+
+    The charged metrics are deterministic at every shard count (the
+    per-shard ops are exact under fixed seeds and the fold is a plain
+    sum), so the regression gate covers the partitioned engine the same
+    way it covers the single-shard families.  Timing runs add
+    ``wall_clock_seconds`` keys, gated loosely and only when both
+    summaries carry them.
+    """
+
+    def _record(scenario_name: str, statistics, **extra: float) -> None:
+        entry = {
+            "mean_operations_per_event": statistics.average_operations_per_event(),
+            "mean_matches_per_event": statistics.average_matches_per_event(),
+            "events": float(statistics.events),
+        }
+        entry.update(extra)
+        _SHARDED_SUMMARY[scenario_name] = entry
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
         target = session.config.getoption("--bench-summary")
     except (ValueError, KeyError):
         return
-    summaries = (_OPS_SUMMARY, _CHURN_SUMMARY, _BATCH_SUMMARY, _DELIVERY_SUMMARY)
+    summaries = (
+        _OPS_SUMMARY,
+        _CHURN_SUMMARY,
+        _BATCH_SUMMARY,
+        _DELIVERY_SUMMARY,
+        _SHARDED_SUMMARY,
+    )
     if not target or not any(summaries):
         return
     directory = os.path.dirname(target)
@@ -144,6 +175,7 @@ def pytest_sessionfinish(session, exitstatus):
         "churn": dict(sorted(_CHURN_SUMMARY.items())),
         "batch": dict(sorted(_BATCH_SUMMARY.items())),
         "delivery": dict(sorted(_DELIVERY_SUMMARY.items())),
+        "sharded": dict(sorted(_SHARDED_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

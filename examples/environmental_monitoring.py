@@ -8,21 +8,24 @@ possible.  This example
 
 * generates the environmental workload (profiles peaked on alarm ranges,
   Gauss/uniform sensor readings),
-* runs the full broker with publisher-side quenching,
-* compares natural order, the distribution-based reordering (V1 + A2) and
-  binary search on the same event stream, and
-* prints the per-strategy operation counts and notification statistics.
+* runs it through the :class:`~repro.api.FilterService` facade with
+  publisher-side quenching and a fluent-builder catastrophe alarm wired
+  to a notification sink,
+* compares the fixed engine families (tree, index, sharded) on the same
+  batch, operation-for-operation, and
+* compares natural order, the distribution-based reordering (V1 + A2)
+  and binary search on the same event stream.
 
 Run with:  python examples/environmental_monitoring.py
 """
 
+from repro.api import FilterService, where
 from repro.experiments import (
     STRATEGY_BINARY,
     STRATEGY_EVENT,
     STRATEGY_NATURAL,
     evaluate_by_simulation,
 )
-from repro.service import Broker
 from repro.workloads import build_workload, environmental_monitoring_spec
 
 
@@ -35,23 +38,64 @@ def main() -> None:
     )
     print()
 
-    # --- 1. Run the full service with quenching ------------------------------
-    broker = Broker(workload.schema, adaptive=True, enable_quenching=True)
-    broker.subscribe_all(workload.profiles)
-    for event in workload.events:
-        broker.publish(event)
+    # --- 1. The full service: quenching + a fluent alarm + batch publish ------
+    alarms = []
+    with FilterService(workload.schema, quenching=True) as service:
+        service.subscribe_all(list(workload.profiles))
+        # The crisis center's profile, written the fluent way and wired to
+        # a sink — catastrophic heat with elevated radiation.
+        service.subscribe(
+            where("temperature").at_least(30) & where("radiation").at_least(40),
+            subscriber="crisis-center",
+            profile_id="catastrophe-alarm",
+            sink=alarms.append,
+        )
+        service.publish_batch(list(workload.events))
+        snapshot = service.stats()
 
-    stats = broker.statistics
-    print("broker run (adaptive filter + quenching):")
+    print("service run (adaptive filter + quenching, batched publish):")
     print(f"  published events      : {len(workload.events)}")
-    print(f"  quenched at publisher : {broker.quenched_events}")
-    print(f"  filtered events       : {stats.events}")
-    print(f"  delivered notifications: {stats.total_notifications}")
-    print(f"  avg operations/event  : {stats.average_operations_per_event():.2f}")
-    print(f"  match rate            : {stats.match_rate():.1%}")
+    print(f"  quenched at publisher : {snapshot.quenched_events}")
+    print(f"  filtered events       : {snapshot.events}")
+    print(f"  delivered notifications: {snapshot.notifications}")
+    print(f"  avg operations/event  : {snapshot.average_operations_per_event:.2f}")
+    print(f"  match rate            : {snapshot.match_rate:.1%}")
+    print(f"  engine                : {snapshot.engine} -> {snapshot.engine_family} family")
+    print(f"  catastrophe alarms    : {len(alarms)} notifications to the crisis center")
     print()
 
-    # --- 2. Ordering strategies on the same stream ---------------------------
+    # --- 2. Engine families on the same batch ---------------------------------
+    # Same events, same profiles, same operation accounting — only the
+    # filtering structure differs.  The sharded engine partitions the
+    # index family over 4 shards; its matches are bit-identical, the
+    # per-shard overhead shows up in the summed operation count.
+    print("engine families on the same 3000-event batch (fixed, no adaptation):")
+    matched_reference: list[tuple[str, ...]] | None = None
+    for engine in ("tree", "index", "sharded"):
+        with FilterService(
+            workload.schema,
+            engine=engine,
+            adaptive=False,
+            shard_count=4 if engine == "sharded" else None,
+        ) as fixed:
+            fixed.subscribe_all(list(workload.profiles))
+            outcomes = fixed.publish_batch(list(workload.events))
+            # Families report matches in their own internal order (tree
+            # order vs insertion order), so compare the match *sets*.
+            matched = [tuple(sorted(o.match_result.matched_profile_ids)) for o in outcomes]
+            if matched_reference is None:
+                matched_reference = matched
+            assert matched == matched_reference, "families must agree on matches"
+            stats = fixed.stats()
+            shards = f", {stats.shards.shard_count} shards" if stats.shards else ""
+            print(
+                f"  {engine:8s} ops/event = {stats.average_operations_per_event:8.2f}"
+                f"   notifications = {stats.notifications}{shards}"
+            )
+    print("  (identical matches across all families, checked event-for-event)")
+    print()
+
+    # --- 3. Ordering strategies on the same stream ---------------------------
     strategies = (STRATEGY_NATURAL, STRATEGY_EVENT, STRATEGY_BINARY)
     evaluations = evaluate_by_simulation(workload, strategies)
     print("ordering strategies on the raw event stream (no quenching):")

@@ -90,6 +90,7 @@ from repro.matching.registry import (
     EngineSpec,
     default_registry,
 )
+from repro.matching.sharded import ShardStats
 from repro.service.adaptive import AdaptationPolicy, AdaptationRecord
 from repro.service.broker import PublishOutcome
 from repro.service.delivery import DeliveryStats
@@ -111,6 +112,7 @@ __all__ = [
     "PublishOutcome",
     "Schema",
     "ServiceStats",
+    "ShardStats",
     "SubscriptionHandle",
     "build_profiles",
     "default_registry",

@@ -11,16 +11,17 @@ maintenance path — subscription churn never rebuilds the filter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
 from repro.core.builder import ProfileBuilder
-from repro.core.errors import ProfileError, SubscriptionError
+from repro.core.errors import ProfileError, ServiceError, SubscriptionError
 from repro.core.events import Event
 from repro.core.profiles import Profile
 from repro.core.schema import Schema
 from repro.matching.index.kernel import KernelStats
 from repro.matching.registry import EngineRegistry
+from repro.matching.sharded import ShardStats
 from repro.matching.statistics import FilterStatistics
 from repro.service.adaptive import (
     AdaptationPolicy,
@@ -86,6 +87,10 @@ class ServiceStats:
     #: service instantiated (all-zero with ``mode="inline"`` when no
     #: sink ever received a notification).
     delivery: DeliveryStats = DeliveryStats()
+    #: Partitioning snapshot of the running matcher — shard count,
+    #: executor backend and per-shard profile loads (``None`` whenever
+    #: the running family is unsharded).
+    shards: ShardStats | None = None
 
     @property
     def batch_dedup_factor(self) -> float:
@@ -259,6 +264,7 @@ class FilterService:
         engine: str | None = None,
         adaptive: bool = True,
         policy: AdaptationPolicy | None = None,
+        shard_count: int | None = None,
         quenching: bool = False,
         service_id: str = "filter-service",
         delivery: str = "inline",
@@ -277,6 +283,11 @@ class FilterService:
         :attr:`~repro.service.adaptive.AdaptationPolicy.registry` — and
         must agree with ``engine`` when both are given.
 
+        ``shard_count`` partitions the profile population for the
+        partition-parallel families (``engine="sharded"``): ``None``
+        keeps the family's cores-based default, and a policy carrying
+        its own ``shard_count`` must agree when both are given.
+
         ``delivery`` selects the default notification executor
         (``"inline"``: sinks run synchronously inside ``publish``, the
         historical semantics; ``"threadpool"``: a bounded pool of
@@ -290,6 +301,15 @@ class FilterService:
         if policy is None and engine is None:
             engine = "auto"  # the facade serves the paper's adaptive framing
         policy = resolve_policy_engine(policy, engine)
+        if shard_count is not None:
+            if policy.shard_count is not None and policy.shard_count != shard_count:
+                raise ServiceError(
+                    f"conflicting shard count: shard_count={shard_count!r} but the "
+                    f"adaptation policy selects {policy.shard_count!r}; set one or "
+                    "the other"
+                )
+            # replace() re-runs the policy's validation (shard_count >= 1).
+            policy = replace(policy, shard_count=shard_count)
         self._broker = Broker(
             schema,
             broker_id=service_id,
@@ -476,11 +496,15 @@ class FilterService:
         """Return one merged observability snapshot (see :class:`ServiceStats`)."""
         statistics: FilterStatistics = self._broker.statistics
         events = statistics.events
+        shards = None
         if self._broker.has_engine:
             engine = self._broker.engine
             kernel = engine.kernel_stats()
             adaptations = tuple(engine.adaptations())
             engine_family = engine.engine_family
+            shard_stats = getattr(engine.matcher, "shard_stats", None)
+            if shard_stats is not None:
+                shards = shard_stats()
         else:
             kernel = KernelStats()
             adaptations = ()
@@ -505,6 +529,7 @@ class FilterService:
             kernel=kernel,
             adaptations=adaptations,
             delivery=self._broker.delivery_stats(),
+            shards=shards,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - display helper

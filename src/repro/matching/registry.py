@@ -21,11 +21,12 @@ matcher family registers one :class:`EngineSpec` bundling
 ``"auto"`` is not a family: it is the reserved arbitration mode that
 pits every registered family's candidate against the current matcher.
 :func:`default_registry` returns the process-wide registry, pre-populated
-with the built-in ``tree`` and ``index`` families plus the ``counting``
-and ``naive`` baselines (selectable by name for experiments, but — with
-no cost estimator — never part of the ``auto`` arbitration); third-party
-engines become selectable by registering a spec — no change to
-``repro.service`` required::
+with the built-in ``tree`` and ``index`` families, the partition-parallel
+``sharded`` family, and the ``counting`` and ``naive`` baselines
+(``sharded`` and the baselines are selectable by name, but — with no cost
+estimator — never part of the ``auto`` arbitration); third-party engines
+become selectable by registering a spec — no change to ``repro.service``
+required::
 
     from repro.matching.registry import EngineSpec, default_registry
 
@@ -103,6 +104,11 @@ class EngineContext:
     #: ``AdaptationPolicy.min_columnar_batch`` falling back to the
     #: registry entry's :attr:`EngineSpec.min_columnar_batch`.
     min_columnar_batch: int | None = None
+    #: Shard count for partition-parallel families (today: ``sharded``).
+    #: ``None`` leaves the family on its cores-based default
+    #: (:func:`repro.matching.sharded.default_shard_count`); resolved
+    #: from :attr:`repro.service.adaptive.AdaptationPolicy.shard_count`.
+    shard_count: int | None = None
 
 
 @dataclass(frozen=True)
@@ -466,6 +472,69 @@ def _index_reoptimize(
     )
 
 
+def _sharded_factory(ctx: EngineContext) -> "Matcher":
+    from repro.matching.index.planner import IndexPlanner
+    from repro.matching.sharded.matcher import ShardedMatcher
+
+    return ShardedMatcher(
+        ctx.profiles,
+        shard_count=ctx.shard_count,
+        planner=IndexPlanner(attribute_measure=ctx.attribute_measure),
+        min_columnar_batch=ctx.min_columnar_batch,
+    )
+
+
+def _sharded_owns(matcher: "Matcher") -> bool:
+    from repro.matching.sharded.matcher import ShardedMatcher
+
+    return isinstance(matcher, ShardedMatcher)
+
+
+def _sharded_current_cost(matcher: "Matcher", distributions) -> float:
+    return matcher.estimated_cost(distributions)
+
+
+def _sharded_reoptimize(
+    ctx: EngineContext, matcher: "Matcher", distributions
+) -> ReoptimisationProposal | None:
+    """Recost every shard's buckets and propose one collective replan.
+
+    Folds the per-shard recosting passes (the same recipe as the index
+    family's :func:`_index_reoptimize`, applied per shard) into one
+    proposal: both predicted costs are sums over shards, and installing
+    replans every shard under the shared distributions.
+    """
+    predicted_current = 0.0
+    predicted_candidate = 0.0
+    indexed = 0
+    for shard in matcher.shards:
+        recosted = shard.recost_plans(distributions)
+        current_plan = shard.plan
+        for attribute, candidate_plan in recosted.items():
+            attribute_plan = current_plan.plan_for(attribute)
+            current_uses_index = (
+                attribute_plan.use_index
+                if attribute_plan is not None
+                else candidate_plan.use_index
+            )
+            predicted_current += (
+                candidate_plan.index_cost if current_uses_index else candidate_plan.scan_cost
+            )
+            predicted_candidate += candidate_plan.chosen_cost
+        indexed += sum(1 for plan in recosted.values() if plan.use_index)
+
+    def install() -> "Matcher":
+        matcher.replan(distributions)
+        return matcher
+
+    return ReoptimisationProposal(
+        predicted_current,
+        predicted_candidate,
+        f"sharded[{matcher.shard_count} shards, {indexed} indexed, P_e estimated]",
+        install,
+    )
+
+
 def _counting_factory(ctx: EngineContext) -> "Matcher":
     from repro.matching.counting import CountingMatcher
 
@@ -523,6 +592,22 @@ def _builtin_specs() -> tuple[EngineSpec, ...]:
         min_columnar_batch=None,
         description="predicate-index counting matcher, replanned via the IndexPlanner",
     )
+    sharded = EngineSpec(
+        name="sharded",
+        factory=_sharded_factory,
+        capabilities=EngineCapabilities(incremental_maintenance=True, batch_kernel=True),
+        owns=_sharded_owns,
+        supported_measures=tuple(IndexPlanner.SUPPORTED_MEASURES),
+        # No candidate: sharding is a deployment decision (core budget),
+        # not something the per-event cost currency can arbitrate — the
+        # summed probe cost always looks worse than one unsharded probe.
+        candidate=None,
+        current_cost=_sharded_current_cost,
+        reoptimize=_sharded_reoptimize,
+        auto_rank=10,
+        min_columnar_batch=None,
+        description="partition-parallel predicate-index shards merged bit-identically",
+    )
     # The two baseline families of the paper's related work, registered
     # so the experiment harness and the benchmarks drive *every* matcher
     # through one ``AdaptationPolicy(engine=...)`` switch.  Neither
@@ -545,7 +630,7 @@ def _builtin_specs() -> tuple[EngineSpec, ...]:
         auto_rank=60,
         description="sequential per-profile scan baseline",
     )
-    return (tree, index, counting, naive)
+    return (tree, index, sharded, counting, naive)
 
 
 _DEFAULT: EngineRegistry | None = None

@@ -1,0 +1,30 @@
+"""Sharded parallel matching (partitioned predicate indexes).
+
+The subscription space is partitioned across N independent
+:class:`~repro.matching.index.matcher.PredicateIndexMatcher` shards;
+batches fan out across a pluggable executor seam and the per-shard
+results merge back bit-identically to the unsharded index engine.  The
+family registers as ``engine="sharded"`` in the engine registry, so the
+service layer drives it with no special cases.  See
+:mod:`repro.matching.sharded.matcher` for the equivalence contract and
+:mod:`repro.matching.sharded.executor` for the backend seam.
+"""
+
+from repro.matching.sharded.executor import (
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    default_shard_count,
+    resolve_shard_executor,
+)
+from repro.matching.sharded.matcher import ShardedMatcher, ShardStats
+
+__all__ = [
+    "SerialShardExecutor",
+    "ShardExecutor",
+    "ShardStats",
+    "ShardedMatcher",
+    "ThreadShardExecutor",
+    "default_shard_count",
+    "resolve_shard_executor",
+]

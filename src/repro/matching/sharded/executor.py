@@ -1,0 +1,147 @@
+"""Pluggable execution backends for the sharded matcher.
+
+The :class:`~repro.matching.sharded.matcher.ShardedMatcher` fans one
+batch of events out across its shards through a **shard executor** — a
+tiny seam with exactly one job: run ``fn(shard)`` for every shard and
+return the results in shard order.  Two backends ship today:
+
+* :class:`SerialShardExecutor` runs the shards one after another on the
+  calling thread.  This is the reference backend: zero threads, zero
+  synchronisation, and — because every backend must return bit-identical
+  results — the oracle the parallel backends are tested against.
+* :class:`ThreadShardExecutor` runs the shards on a lazily created,
+  **persistent** :class:`~concurrent.futures.ThreadPoolExecutor`.  Each
+  shard owns its own scratch state, so shard-level parallelism needs no
+  locking.  Under the default (GIL-enabled) CPython build the threads
+  interleave rather than overlap, so wall-clock scaling needs a
+  free-threaded build (3.13t+) or a future process backend; the seam is
+  deliberately executor-shaped so a process pool can slot in without
+  touching the matcher.
+
+The pool is created on the first parallel fan-out, not at construction:
+a sharded matcher used only for per-event :meth:`match` calls never
+starts a thread.  :meth:`ThreadShardExecutor.close` shuts the pool down;
+a closed executor degrades to serial execution instead of raising, so a
+service that keeps reading statistics after ``close()`` stays usable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.core.errors import MatchingError
+
+__all__ = [
+    "SerialShardExecutor",
+    "ShardExecutor",
+    "ThreadShardExecutor",
+    "default_shard_count",
+    "resolve_shard_executor",
+]
+
+_S = TypeVar("_S")
+_R = TypeVar("_R")
+
+#: Shard counts beyond this stop paying for themselves on realistic
+#: profile populations (merge overhead grows linearly with the count).
+_MAX_DEFAULT_SHARDS = 8
+
+
+def default_shard_count() -> int:
+    """Return the cores-based default shard count (clamped to [1, 8])."""
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_SHARDS))
+
+
+@runtime_checkable
+class ShardExecutor(Protocol):
+    """Strategy for running one callable across every shard."""
+
+    #: Backend name surfaced in :class:`~repro.matching.sharded.ShardStats`.
+    mode: str
+
+    def map_shards(
+        self, fn: Callable[[_S], _R], shards: Sequence[_S]
+    ) -> list[_R]:
+        """Run ``fn`` on every shard, returning results in shard order."""
+        ...
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        ...
+
+
+class SerialShardExecutor:
+    """Run the shards sequentially on the calling thread."""
+
+    mode = "serial"
+
+    def map_shards(
+        self, fn: Callable[[_S], _R], shards: Sequence[_S]
+    ) -> list[_R]:
+        return [fn(shard) for shard in shards]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadShardExecutor:
+    """Run the shards on a persistent, lazily created thread pool."""
+
+    mode = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise MatchingError("max_workers must be at least 1")
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    def map_shards(
+        self, fn: Callable[[_S], _R], shards: Sequence[_S]
+    ) -> list[_R]:
+        if self._closed or len(shards) <= 1:
+            return [fn(shard) for shard in shards]
+        if self._pool is None:
+            workers = self._max_workers or len(shards)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        # Executor.map preserves input order, so results stay shard-aligned.
+        return list(self._pool.map(fn, shards))
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_shard_executor(
+    executor: "str | ShardExecutor | None", shard_count: int
+) -> ShardExecutor:
+    """Resolve an executor choice to a backend instance.
+
+    ``None`` picks threads for a genuinely sharded matcher and serial for
+    a single shard (where fan-out has nothing to overlap); the strings
+    ``"serial"`` / ``"threads"`` name the built-in backends; any object
+    with the :class:`ShardExecutor` shape is used as given (the seam a
+    future process backend plugs into).
+    """
+    if executor is None:
+        return ThreadShardExecutor() if shard_count > 1 else SerialShardExecutor()
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialShardExecutor()
+        if executor == "threads":
+            return ThreadShardExecutor()
+        raise MatchingError(
+            f"unknown shard executor {executor!r}; expected 'serial' or 'threads'"
+        )
+    if isinstance(executor, ShardExecutor):
+        return executor
+    raise MatchingError(
+        f"shard executor must be 'serial', 'threads' or a ShardExecutor, "
+        f"got {type(executor).__name__}"
+    )

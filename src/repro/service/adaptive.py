@@ -125,6 +125,13 @@ class AdaptationPolicy:
     #: :data:`repro.matching.index.kernel.MIN_COLUMNAR_BATCH`; smaller
     #: values push smaller batches into the columnar kernel.
     min_columnar_batch: int | None = None
+    #: Shard count for partition-parallel families (today: the
+    #: ``sharded`` family, which partitions the profile population over
+    #: this many predicate-index shards).  ``None`` leaves the family on
+    #: its cores-based default
+    #: (:func:`repro.matching.sharded.default_shard_count`); ignored by
+    #: unsharded families.
+    shard_count: int | None = None
     #: Engine roster consulted for validation, construction and the
     #: ``auto`` arbitration.  ``None`` uses the process-wide
     #: :func:`~repro.matching.registry.default_registry`; passing a
@@ -160,6 +167,8 @@ class AdaptationPolicy:
             raise ServiceError("switch_cooldown_intervals must be non-negative")
         if self.min_columnar_batch is not None and self.min_columnar_batch < 0:
             raise ServiceError("min_columnar_batch must be non-negative")
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ServiceError("shard_count must be at least 1")
 
     @property
     def engine_registry(self) -> EngineRegistry:
@@ -248,6 +257,7 @@ class AdaptiveFilterEngine:
             search=self.policy.search,
             initial_configuration=self._initial_configuration,
             min_columnar_batch=min_columnar,
+            shard_count=self.policy.shard_count,
         )
 
     def _adopt_matcher(self, matcher: Matcher) -> None:

@@ -9,9 +9,10 @@ profile, the metrics of Fig. 5) and optionally applies publisher-side
 quenching.
 
 Subscription churn is incremental: subscribe/unsubscribe flow through the
-engine's profile maintenance (postings deltas on the index family), so the
-filter structures, the event history and the adaptation state all survive
-churn; only the first subscription builds an engine.  The same maintenance
+engine's profile maintenance (postings deltas on the index family; the
+sharded family routes each delta to the one shard owning the profile), so
+the filter structures, the event history and the adaptation state all
+survive churn; only the first subscription builds an engine.  The same maintenance
 path backs the pause/resume/modify life-cycle
 (:meth:`Broker.pause_subscription` and friends) that
 :class:`repro.api.SubscriptionHandle` rides on.
@@ -500,6 +501,12 @@ class Broker:
         discards queued deliveries (counted as ``dropped``).  A closed
         broker rejects further publishing with
         :class:`~repro.core.errors.DeliveryError`; subscriptions and
-        statistics stay readable.
+        statistics stay readable.  A matcher that owns execution
+        resources (the sharded family's worker pool) is closed too, via
+        its own ``close()``.
         """
         self._delivery.close(drain=drain)
+        if self._engine is not None:
+            close_matcher = getattr(self._engine.matcher, "close", None)
+            if close_matcher is not None:
+                close_matcher()

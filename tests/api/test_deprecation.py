@@ -37,7 +37,14 @@ class TestEnginesTupleShim:
         def read():
             from repro.service import adaptive
 
-            assert adaptive.ENGINES == ("tree", "index", "counting", "naive", "auto")
+            assert adaptive.ENGINES == (
+                "tree",
+                "index",
+                "sharded",
+                "counting",
+                "naive",
+                "auto",
+            )
 
         emitted = collect_deprecations(read)
         assert len(emitted) == 1

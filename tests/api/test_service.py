@@ -28,7 +28,14 @@ class TestConstruction:
     def test_defaults_to_the_auto_engine(self):
         service = make_service()
         assert service.policy.engine == "auto"
-        assert service.engines() == ("tree", "index", "counting", "naive", "auto")
+        assert service.engines() == (
+            "tree",
+            "index",
+            "sharded",
+            "counting",
+            "naive",
+            "auto",
+        )
 
     def test_engine_name_is_resolved_through_the_registry(self):
         service = make_service(engine="index")

@@ -36,11 +36,14 @@ def small_profiles() -> ProfileSet:
 class TestDefaultRegistry:
     def test_builtin_roster(self):
         registry = default_registry()
-        assert registry.names() == ("tree", "index", "counting", "naive")
-        assert registry.engine_names() == ("tree", "index", "counting", "naive", "auto")
+        assert registry.names() == ("tree", "index", "sharded", "counting", "naive")
+        assert registry.engine_names() == (
+            "tree", "index", "sharded", "counting", "naive", "auto"
+        )
         assert "tree" in registry and "index" in registry
+        assert "sharded" in registry
         assert "counting" in registry and "naive" in registry
-        assert len(registry) == 4
+        assert len(registry) == 5
 
     def test_auto_starts_on_the_index_family(self):
         assert default_registry().auto_start().name == "index"
@@ -60,7 +63,7 @@ class TestDefaultRegistry:
         assert registry.owner_of(NaiveMatcher(profiles)).name == "naive"
 
     def test_unknown_engine_error_lists_registered_names(self):
-        with pytest.raises(MatchingError, match="tree, index, counting, naive, auto"):
+        with pytest.raises(MatchingError, match="tree, index, sharded, counting, naive, auto"):
             default_registry().spec("quantum")
 
     def test_auto_is_reserved(self):
@@ -221,7 +224,7 @@ class TestThirdPartyEngines:
         assert isinstance(broker.engine.matcher, _ScanSpy)
 
     def test_policy_rejects_unknown_engine_with_roster_listing(self):
-        with pytest.raises(ServiceError, match="tree, index, counting, naive, auto"):
+        with pytest.raises(ServiceError, match="tree, index, sharded, counting, naive, auto"):
             AdaptationPolicy(engine="quantum")
 
     def test_custom_registry_does_not_leak_into_the_default(self):

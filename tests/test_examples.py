@@ -1,0 +1,52 @@
+"""Every example script runs green, end to end.
+
+The examples are living documentation — README and docs/ point at them —
+so each one is executed as a real subprocess (fresh interpreter, no
+shared state) and must exit 0.  Internal assertions inside the examples
+(e.g. the broker-network overlay-vs-central equivalence check) fail the
+subprocess and therefore this test.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_the_expected_examples_are_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "stock_ticker.py",
+        "adaptive_monitoring.py",
+        "environmental_monitoring.py",
+        "broker_network.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_green(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

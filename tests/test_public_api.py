@@ -32,6 +32,7 @@ PACKAGES = [
     "repro.distributions",
     "repro.matching",
     "repro.matching.index",
+    "repro.matching.sharded",
     "repro.matching.tree",
     "repro.selectivity",
     "repro.analysis",
@@ -104,6 +105,7 @@ API_SURFACE = {
         "engine",
         "switch_cooldown_intervals",
         "min_columnar_batch",
+        "shard_count",
         "registry",
     ),
     "AdaptationRecord": (
@@ -148,6 +150,7 @@ API_SURFACE = {
         "engine",
         "adaptive",
         "policy",
+        "shard_count",
         "quenching",
         "service_id",
         "delivery",
@@ -175,7 +178,9 @@ API_SURFACE = {
         "kernel",
         "adaptations",
         "delivery",
+        "shards",
     ),
+    "ShardStats": ("shard_count", "executor", "profiles_per_shard"),
     "SubscriptionHandle": ("service", "subscription"),
     "build_profiles": ("builders", "id_prefix", "subscriber"),
     "default_registry": (),
