@@ -29,6 +29,7 @@ _CHURN_SUMMARY: dict[str, dict[str, float]] = {}
 _BATCH_SUMMARY: dict[str, dict[str, float]] = {}
 _DELIVERY_SUMMARY: dict[str, dict[str, float]] = {}
 _SHARDED_SUMMARY: dict[str, dict[str, float]] = {}
+_DURABILITY_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -150,6 +151,33 @@ def record_sharded():
     return _record
 
 
+@pytest.fixture
+def record_durability():
+    """Record one durability scenario for the summary dump.
+
+    Journal accounting (records appended, subscriptions recovered) and
+    post-replay matching cost are deterministic under fixed seeds, so
+    the regression gate covers the durable boot path like any engine.
+    Timing runs add ``wall_clock_seconds`` / per-op overhead keys, gated
+    loosely and only when both summaries carry them.
+    """
+
+    def _record(scenario_name: str, statistics=None, **extra: float) -> None:
+        entry: dict[str, float] = {}
+        if statistics is not None:
+            entry["mean_operations_per_event"] = (
+                statistics.average_operations_per_event()
+            )
+            entry["mean_matches_per_event"] = (
+                statistics.average_matches_per_event()
+            )
+            entry["events"] = float(statistics.events)
+        entry.update(extra)
+        _DURABILITY_SUMMARY[scenario_name] = entry
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
@@ -162,6 +190,7 @@ def pytest_sessionfinish(session, exitstatus):
         _BATCH_SUMMARY,
         _DELIVERY_SUMMARY,
         _SHARDED_SUMMARY,
+        _DURABILITY_SUMMARY,
     )
     if not target or not any(summaries):
         return
@@ -176,6 +205,7 @@ def pytest_sessionfinish(session, exitstatus):
         "batch": dict(sorted(_BATCH_SUMMARY.items())),
         "delivery": dict(sorted(_DELIVERY_SUMMARY.items())),
         "sharded": dict(sorted(_SHARDED_SUMMARY.items())),
+        "durability": dict(sorted(_DURABILITY_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -65,7 +65,24 @@ backpressure queues, and a draining close are guaranteed either way::
         service.drain()                   # barrier: all sinks caught up
         service.stats().delivery          # dispatched/delivered/dropped/...
 
-**7. Plug in an engine.**  Matcher families live in the engine registry
+**7. Survive restarts and leave the process.**  A
+:class:`SubscriptionStore` journals every subscription operation
+(JSONL WAL or SQLite, snapshot + log compaction); booting a service
+over the same store replays the state and resumes the durable handles
+by id.  A :class:`WebhookSink` pins a subscription to the remote
+``webhook`` executor — per-endpoint FIFO lanes, retry budget with
+exponential backoff, circuit breaker, dead-letter queue::
+
+    store = JsonlWalStore("state/subscriptions")
+    with FilterService(schema, store=store) as service:
+        service.subscribe(where("price").at_least(100),
+                          sink=WebhookSink("https://example.test/hook"),
+                          delivery="webhook")
+    # after a restart: same directory, same subscriptions
+    service = FilterService(schema, store=JsonlWalStore("state/subscriptions"))
+    service.stats().durability            # seq/snapshots/replayed/...
+
+**8. Plug in an engine.**  Matcher families live in the engine registry
 (:mod:`repro.matching.registry`); registering an
 :class:`~repro.matching.registry.EngineSpec` makes a third-party family
 selectable by name — globally via :func:`default_registry`, or per
@@ -93,7 +110,18 @@ from repro.matching.registry import (
 from repro.matching.sharded import ShardStats
 from repro.service.adaptive import AdaptationPolicy, AdaptationRecord
 from repro.service.broker import PublishOutcome
-from repro.service.delivery import DeliveryStats
+from repro.service.delivery import (
+    DeliveryStats,
+    WebhookConfig,
+    WebhookSink,
+)
+from repro.service.durability import (
+    DurabilityStats,
+    InMemorySubscriptionStore,
+    JsonlWalStore,
+    SqliteSubscriptionStore,
+    SubscriptionStore,
+)
 from repro.api.service import FilterService, ServiceStats, SubscriptionHandle
 
 __all__ = [
@@ -102,18 +130,25 @@ __all__ = [
     "Attribute",
     "AttributeClause",
     "DeliveryStats",
+    "DurabilityStats",
     "EngineCapabilities",
     "EngineRegistry",
     "EngineSpec",
     "Event",
     "FilterService",
+    "InMemorySubscriptionStore",
+    "JsonlWalStore",
     "Profile",
     "ProfileBuilder",
     "PublishOutcome",
     "Schema",
     "ServiceStats",
     "ShardStats",
+    "SqliteSubscriptionStore",
     "SubscriptionHandle",
+    "SubscriptionStore",
+    "WebhookConfig",
+    "WebhookSink",
     "build_profiles",
     "default_registry",
     "where",

@@ -29,7 +29,8 @@ from repro.service.adaptive import (
     resolve_policy_engine,
 )
 from repro.service.broker import Broker, PublishOutcome
-from repro.service.delivery import DeliveryStats
+from repro.service.delivery import DeliveryStats, WebhookConfig
+from repro.service.durability.store import DurabilityStats, SubscriptionStore
 from repro.service.notifications import NotificationLog, NotificationSink
 from repro.service.subscriptions import KEEP_DELIVERY, Subscription
 
@@ -91,6 +92,10 @@ class ServiceStats:
     #: executor backend and per-shard profile loads (``None`` whenever
     #: the running family is unsharded).
     shards: ShardStats | None = None
+    #: Durable subscription-store accounting — journal sequence,
+    #: snapshots taken, records replayed at boot (``None`` when the
+    #: service runs without a store).
+    durability: DurabilityStats | None = None
 
     @property
     def batch_dedup_factor(self) -> float:
@@ -271,6 +276,10 @@ class FilterService:
         max_workers: int | None = None,
         queue_capacity: int | None = None,
         overflow: str = "block",
+        retry_attempts: int = 1,
+        retry_backoff: float = 0.0,
+        webhook: WebhookConfig | None = None,
+        store: SubscriptionStore | None = None,
     ) -> None:
         """Create a service over ``schema``.
 
@@ -297,6 +306,22 @@ class FilterService:
         (``"block"`` | ``"drop_oldest"`` | ``"raise"``) when a lane is
         full.  Use the service as a context manager — or call
         :meth:`close` — to drain in-flight deliveries on shutdown.
+
+        ``retry_attempts`` / ``retry_backoff`` give the threadpool and
+        asyncio executors a bounded budget for transient sink
+        exceptions (default: one attempt, the historical semantics);
+        ``webhook`` tunes the remote
+        :class:`~repro.service.delivery.WebhookDeliveryExecutor`
+        (timeouts, backoff, circuit breaker, dead-letter capacity).
+
+        ``store`` makes subscriptions durable: every life-cycle
+        operation journals to the
+        :class:`~repro.api.SubscriptionStore` before returning, and a
+        service booted over a non-empty store replays snapshot + tail
+        into the engine registry and resumes the durable handles —
+        ``service.handle("sub-7")`` works after a restart (webhook
+        sinks reconstructed; in-process sinks must be re-attached via
+        :meth:`SubscriptionHandle.deliver_to`).
         """
         if policy is None and engine is None:
             engine = "auto"  # the facade serves the paper's adaptive framing
@@ -320,9 +345,20 @@ class FilterService:
             max_workers=max_workers,
             queue_capacity=queue_capacity,
             overflow=overflow,
+            retry_attempts=retry_attempts,
+            retry_backoff=retry_backoff,
+            webhook=webhook,
+            store=store,
         )
         self._handles: dict[str, SubscriptionHandle] = {}
         self._profile_counter = 0
+        # A store replayed subscriptions into the broker before we got
+        # here: resume a durable handle for each, in original order.
+        for subscription in self._broker.subscriptions:
+            handle = SubscriptionHandle(self, subscription)
+            if self._broker.is_paused(subscription.subscription_id):
+                handle._state = _PAUSED
+            self._handles[subscription.subscription_id] = handle
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -471,6 +507,14 @@ class FilterService:
         """
         self._broker.drain_deliveries()
 
+    def dead_letters(self):
+        """Return the webhook dead-letter queue, oldest first.
+
+        Tasks that exhausted their retry budget or were failed fast by
+        an open circuit breaker; empty when no webhook executor ran.
+        """
+        return self._broker.dead_letters()
+
     def close(self, *, drain: bool = True) -> None:
         """Shut the delivery subsystem down (idempotent).
 
@@ -530,6 +574,7 @@ class FilterService:
             adaptations=adaptations,
             delivery=self._broker.delivery_stats(),
             shards=shards,
+            durability=self._broker.durability_stats(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - display helper

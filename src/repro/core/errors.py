@@ -22,6 +22,8 @@ __all__ = [
     "SubscriptionError",
     "DeliveryError",
     "DeliveryOverflowError",
+    "StoreError",
+    "StoreCorruptionError",
     "RoutingError",
     "SimulationError",
     "WorkloadError",
@@ -83,6 +85,19 @@ class DeliveryError(ServiceError):
 
 class DeliveryOverflowError(DeliveryError):
     """A bounded delivery queue overflowed under the ``"raise"`` policy."""
+
+
+class StoreError(ServiceError):
+    """A durable subscription-store operation failed (closed store, ...)."""
+
+
+class StoreCorruptionError(StoreError):
+    """A subscription store's journal or snapshot is corrupt beyond repair.
+
+    A *torn tail* — the final record truncated by a crash mid-write — is
+    not corruption: stores repair it silently on open.  This error means
+    damage in the interior of the log, which replay cannot skip safely.
+    """
 
 
 class RoutingError(ServiceError):

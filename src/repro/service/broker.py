@@ -25,10 +25,22 @@ Engine selection goes through the engine registry
 Notification delivery is decoupled from matching through
 :mod:`repro.service.delivery`: matching produces a ``DeliveryPlan`` and
 the broker's dispatcher routes each sink invocation to the ``inline``
-(default), ``threadpool`` or ``asyncio`` executor — selected per broker
-(``Broker(delivery="threadpool")``) or pinned per subscription — with
-per-subscription FIFO ordering, bounded backpressure queues and a
-draining :meth:`Broker.close`.
+(default), ``threadpool``, ``asyncio`` or ``webhook`` executor —
+selected per broker (``Broker(delivery="threadpool")``) or pinned per
+subscription — with per-subscription FIFO ordering, bounded
+backpressure queues and a draining :meth:`Broker.close`.
+
+Durability is opt-in through ``Broker(store=...)``: every subscription
+life-cycle operation is applied to the live engine first and journaled
+to the :class:`~repro.service.durability.SubscriptionStore` before the
+call returns (apply-then-journal: an operation is durable exactly when
+its call returns, at the store's sync policy).  A broker *booted* with a
+non-empty store replays snapshot + journal tail through the same
+incremental-maintenance path — one bulk engine build, ids preserved,
+paused subscriptions re-paused — so the recovered broker filters
+exactly like one that never restarted.  :class:`WebhookSink` endpoints
+are journaled and reconstructed; in-process sinks are not durable and
+must be re-attached after recovery.
 """
 
 from __future__ import annotations
@@ -54,7 +66,14 @@ from repro.service.delivery import (
     DeliveryPlan,
     DeliveryStats,
     DeliveryTask,
+    WebhookConfig,
+    WebhookSink,
     validate_delivery_mode,
+)
+from repro.service.durability.store import (
+    DurabilityStats,
+    RecoveredState,
+    SubscriptionStore,
 )
 from repro.service.notifications import Notification, NotificationLog, NotificationSink
 from repro.service.quenching import Quencher
@@ -99,6 +118,10 @@ class Broker:
         max_workers: int | None = None,
         queue_capacity: int | None = None,
         overflow: str = "block",
+        retry_attempts: int = 1,
+        retry_backoff: float = 0.0,
+        webhook: WebhookConfig | None = None,
+        store: SubscriptionStore | None = None,
     ) -> None:
         self.broker_id = broker_id
         if engine is not None:
@@ -129,7 +152,15 @@ class Broker:
             max_workers=max_workers,
             queue_capacity=queue_capacity,
             overflow=overflow,
+            retry_attempts=retry_attempts,
+            retry_backoff=retry_backoff,
+            webhook=webhook,
         )
+        self._store = store
+        if store is not None:
+            # The broker owns the store's life-cycle: pass it unopened;
+            # open() repairs a torn journal tail and loads the state.
+            self._replay(store.open())
 
     # -- engine management --------------------------------------------------------
     def _make_engine(self) -> None:
@@ -182,6 +213,59 @@ class Broker:
             self._profiles.remove(profile_id)
         if self._quencher is not None:
             self._quencher.refresh()
+
+    # -- durability ---------------------------------------------------------------
+    def _replay(self, recovered: RecoveredState) -> None:
+        """Rebuild subscription state from a store's recovered entries.
+
+        Mirrors :meth:`subscribe_all`: every entry registers under its
+        original subscription id (webhook sinks reconstructed from their
+        journaled endpoint), the live profiles attach in one bulk engine
+        build, and paused entries are re-paused — all without journaling,
+        since the store already holds exactly this state.
+        """
+        for entry in recovered.entries:
+            sink = WebhookSink(entry.endpoint) if entry.endpoint is not None else None
+            self._registry.subscribe(
+                entry.profile,
+                entry.subscriber,
+                sink=sink,
+                delivery=entry.delivery,
+                subscription_id=entry.subscription_id,
+            )
+        live = [entry for entry in recovered.entries if not entry.paused]
+        for entry in live:
+            self._profiles.add(entry.profile)
+        if len(self._profiles) > 0:
+            self._make_engine()
+        for entry in recovered.entries:
+            if entry.paused:
+                self._paused.add(entry.subscription_id)
+        if self._quencher is not None:
+            self._quencher.refresh()
+
+    def _journal(self, op: str, subscription_id: str, **fields) -> None:
+        """Journal one applied operation (no-op without a store)."""
+        if self._store is not None:
+            self._store.append(op, subscription_id, **fields)
+
+    @staticmethod
+    def _sink_endpoint(sink: NotificationSink | None) -> str | None:
+        """Return the durable endpoint of a sink (webhook sinks only)."""
+        return sink.endpoint if isinstance(sink, WebhookSink) else None
+
+    @property
+    def store(self) -> SubscriptionStore | None:
+        """Return the durable subscription store, if one is attached."""
+        return self._store
+
+    def durability_stats(self) -> DurabilityStats | None:
+        """Return the store's accounting (``None`` without a store)."""
+        return self._store.stats() if self._store is not None else None
+
+    def dead_letters(self):
+        """Return the webhook executor's dead letters (empty if unused)."""
+        return self._delivery.dead_letters()
 
     # -- subscription management -----------------------------------------------------
     @property
@@ -246,8 +330,8 @@ class Broker:
         """Register a subscription and update the filter incrementally.
 
         ``delivery`` pins this subscription's sink to one executor mode
-        (``"inline"``, ``"threadpool"``, ``"asyncio"``); ``None`` rides
-        the broker's default executor.
+        (``"inline"``, ``"threadpool"``, ``"asyncio"``, ``"webhook"``);
+        ``None`` rides the broker's default executor.
         """
         if delivery is not None:
             validate_delivery_mode(delivery)
@@ -255,6 +339,14 @@ class Broker:
             profile, subscriber, sink=sink, delivery=delivery
         )
         self._attach_profile(profile)
+        self._journal(
+            "subscribe",
+            subscription.subscription_id,
+            profile=profile,
+            subscriber=subscriber,
+            delivery=delivery,
+            endpoint=self._sink_endpoint(sink),
+        )
         return subscription
 
     def set_subscription_sink(
@@ -271,7 +363,14 @@ class Broker:
         """
         if delivery is not KEEP_DELIVERY and delivery is not None:
             validate_delivery_mode(delivery)
-        return self._registry.replace_sink(subscription_id, sink, delivery=delivery)
+        updated = self._registry.replace_sink(subscription_id, sink, delivery=delivery)
+        self._journal(
+            "retarget",
+            subscription_id,
+            delivery=updated.delivery,
+            endpoint=self._sink_endpoint(updated.sink),
+        )
+        return updated
 
     def subscribe_all(
         self, profiles: Iterable[Profile], subscriber: str = "anonymous"
@@ -303,6 +402,15 @@ class Broker:
             self._engine.add_profiles([s.profile for s in subscriptions])
         if self._quencher is not None:
             self._quencher.refresh()
+        for subscription in subscriptions:
+            self._journal(
+                "subscribe",
+                subscription.subscription_id,
+                profile=subscription.profile,
+                subscriber=subscription.subscriber,
+                delivery=subscription.delivery,
+                endpoint=self._sink_endpoint(subscription.sink),
+            )
         return subscriptions
 
     def unsubscribe(self, subscription_id: str) -> Subscription:
@@ -322,6 +430,7 @@ class Broker:
                 self._engine = None
         else:
             self._detach_profile(subscription.profile.profile_id, keep_engine=keep_engine)
+        self._journal("cancel", subscription_id)
         return subscription
 
     # -- subscription life-cycle (pause / resume / modify) ---------------------------
@@ -338,6 +447,7 @@ class Broker:
             raise SubscriptionError(f"subscription {subscription_id!r} is already paused")
         self._detach_profile(subscription.profile.profile_id, keep_engine=True)
         self._paused.add(subscription_id)
+        self._journal("pause", subscription_id)
         return subscription
 
     def resume_subscription(self, subscription_id: str) -> Subscription:
@@ -347,6 +457,7 @@ class Broker:
             raise SubscriptionError(f"subscription {subscription_id!r} is not paused")
         self._attach_profile(subscription.profile)
         self._paused.discard(subscription_id)
+        self._journal("resume", subscription_id)
         return subscription
 
     def modify_subscription(self, subscription_id: str, profile: Profile) -> Subscription:
@@ -361,6 +472,7 @@ class Broker:
         old = self._registry.get(subscription_id)
         updated = self._registry.replace_profile(subscription_id, profile)
         if subscription_id in self._paused:
+            self._journal("modify", subscription_id, profile=profile)
             return updated
         self._detach_profile(old.profile.profile_id, keep_engine=True)
         try:
@@ -371,6 +483,7 @@ class Broker:
             self._registry.replace_profile(subscription_id, old.profile)
             self._attach_profile(old.profile)
             raise
+        self._journal("modify", subscription_id, profile=profile)
         return updated
 
     # -- publishing --------------------------------------------------------------------
@@ -503,10 +616,15 @@ class Broker:
         :class:`~repro.core.errors.DeliveryError`; subscriptions and
         statistics stay readable.  A matcher that owns execution
         resources (the sharded family's worker pool) is closed too, via
-        its own ``close()``.
+        its own ``close()``.  An attached subscription store is flushed
+        (fsync) and closed last, so every journaled operation is durable
+        when ``close`` returns.
         """
         self._delivery.close(drain=drain)
         if self._engine is not None:
             close_matcher = getattr(self._engine.matcher, "close", None)
             if close_matcher is not None:
                 close_matcher()
+        if self._store is not None and not self._store.closed:
+            self._store.flush()
+            self._store.close()

@@ -12,7 +12,12 @@ one of three executors:
   — a bounded worker pool with per-subscription FIFO lanes and a
   backpressure queue;
 * :class:`~repro.service.delivery.aio.AsyncioDeliveryExecutor` — async
-  sinks ``await``-ed on an event loop owned by the service.
+  sinks ``await``-ed on an event loop owned by the service;
+* :class:`~repro.service.delivery.webhook.WebhookDeliveryExecutor` —
+  remote HTTP delivery of :class:`~repro.service.delivery.webhook.WebhookSink`
+  subscriptions, with per-endpoint FIFO lanes, a retry budget
+  (exponential backoff + jitter), a per-endpoint circuit breaker and a
+  dead-letter queue.
 
 The service default is selected per
 :class:`~repro.api.FilterService` (``delivery="threadpool"``) and can be
@@ -44,11 +49,18 @@ from repro.service.delivery.base import (
 from repro.service.delivery.inline import InlineExecutor
 from repro.service.delivery.stats import DeliveryCounters, DeliveryStats
 from repro.service.delivery.threadpool import ThreadPoolDeliveryExecutor
+from repro.service.delivery.webhook import (
+    DeadLetter,
+    WebhookConfig,
+    WebhookDeliveryExecutor,
+    WebhookSink,
+)
 
 __all__ = [
     "DELIVERY_MODES",
     "OVERFLOW_POLICIES",
     "AsyncioDeliveryExecutor",
+    "DeadLetter",
     "DeliveryCounters",
     "DeliveryDispatcher",
     "DeliveryExecutor",
@@ -57,6 +69,9 @@ __all__ = [
     "DeliveryTask",
     "InlineExecutor",
     "ThreadPoolDeliveryExecutor",
+    "WebhookConfig",
+    "WebhookDeliveryExecutor",
+    "WebhookSink",
     "validate_delivery_mode",
     "validate_overflow_policy",
 ]
@@ -80,6 +95,9 @@ class DeliveryDispatcher:
         max_workers: int | None = None,
         queue_capacity: int | None = None,
         overflow: str = "block",
+        retry_attempts: int = 1,
+        retry_backoff: float = 0.0,
+        webhook: WebhookConfig | None = None,
     ) -> None:
         self._default_mode = validate_delivery_mode(delivery)
         self._overflow = validate_overflow_policy(overflow)
@@ -87,8 +105,15 @@ class DeliveryDispatcher:
             raise DeliveryError("max_workers must be at least 1")
         if queue_capacity is not None and queue_capacity < 1:
             raise DeliveryError("queue_capacity must be at least 1")
+        if retry_attempts < 1:
+            raise DeliveryError("retry_attempts must be at least 1")
+        if retry_backoff < 0.0:
+            raise DeliveryError("retry_backoff must not be negative")
         self._max_workers = max_workers if max_workers is not None else 4
         self._queue_capacity = queue_capacity if queue_capacity is not None else 1024
+        self._retry_attempts = retry_attempts
+        self._retry_backoff = retry_backoff
+        self._webhook = webhook
         self._executors: dict[str, DeliveryExecutor] = {}
         self._closed = False
 
@@ -119,10 +144,20 @@ class DeliveryDispatcher:
                 max_workers=self._max_workers,
                 queue_capacity=self._queue_capacity,
                 overflow=self._overflow,
+                retry_attempts=self._retry_attempts,
+                retry_backoff=self._retry_backoff,
+            )
+        if mode == "webhook":
+            return WebhookDeliveryExecutor(
+                config=self._webhook,
+                queue_capacity=self._queue_capacity,
+                overflow=self._overflow,
             )
         return AsyncioDeliveryExecutor(
             queue_capacity=self._queue_capacity,
             overflow=self._overflow,
+            retry_attempts=self._retry_attempts,
+            retry_backoff=self._retry_backoff,
         )
 
     def executor_for(self, mode: str | None) -> DeliveryExecutor:
@@ -170,5 +205,14 @@ class DeliveryDispatcher:
             dropped=sum(s.dropped for s in snapshots),
             pending=sum(s.pending for s in snapshots),
             max_pending=sum(s.max_pending for s in snapshots),
+            retried=sum(s.retried for s in snapshots),
+            dead_lettered=sum(s.dead_lettered for s in snapshots),
             executors=tuple(self._executors),
         )
+
+    def dead_letters(self) -> tuple["DeadLetter", ...]:
+        """Return the webhook executor's dead letters (empty if unused)."""
+        executor = self._executors.get("webhook")
+        if executor is None:
+            return ()
+        return executor.dead_letters()

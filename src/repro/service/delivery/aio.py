@@ -12,7 +12,11 @@ Publisher-side backpressure mirrors the threadpool executor: each lane
 holds at most ``queue_capacity`` tasks and a full lane applies the
 ``block`` / ``drop_oldest`` / ``raise`` overflow policy at ``submit``
 time, on the publishing thread.  Sink exceptions are swallowed and
-counted (``failed``), never propagated into the loop.
+counted (``failed``), never propagated into the loop.  With
+``retry_attempts > 1`` an ordinary :class:`Exception` is re-attempted
+after an ``await asyncio.sleep(retry_backoff * 2**n)`` — the lane's
+consumer yields during the backoff, so other subscriptions keep flowing
+on the loop; extra attempts are counted in ``retried``.
 """
 
 from __future__ import annotations
@@ -40,10 +44,18 @@ class AsyncioDeliveryExecutor:
         *,
         queue_capacity: int = 1024,
         overflow: str = "block",
+        retry_attempts: int = 1,
+        retry_backoff: float = 0.0,
         counters: DeliveryCounters | None = None,
     ) -> None:
         if queue_capacity < 1:
             raise DeliveryError("queue_capacity must be at least 1")
+        if retry_attempts < 1:
+            raise DeliveryError("retry_attempts must be at least 1")
+        if retry_backoff < 0.0:
+            raise DeliveryError("retry_backoff must not be negative")
+        self._retry_attempts = retry_attempts
+        self._retry_backoff = retry_backoff
         self._overflow = validate_overflow_policy(overflow)
         self._capacity = queue_capacity
         self._counters = counters if counters is not None else DeliveryCounters()
@@ -117,15 +129,32 @@ class AsyncioDeliveryExecutor:
                 self._in_flight += 1
                 self._condition.notify_all()
             ok = True
-            try:
-                result = task.sink(task.notification)
-                if inspect.isawaitable(result):
-                    await result
-            except BaseException:
-                # BaseException included: a sink raising SystemExit must
-                # neither kill the lane's consumer nor leak the pending
-                # count (hanging every later drain()).
-                ok = False
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = task.sink(task.notification)
+                    if inspect.isawaitable(result):
+                        await result
+                    break
+                except Exception:
+                    # Transient sink failures are retried within the
+                    # budget; the backoff awaits, so the loop (and every
+                    # other lane) keeps running during it.
+                    if attempt >= self._retry_attempts:
+                        ok = False
+                        break
+                    self._counters.retrying()
+                    if self._retry_backoff > 0.0:
+                        await asyncio.sleep(
+                            self._retry_backoff * (2 ** (attempt - 1))
+                        )
+                except BaseException:
+                    # BaseException included: a sink raising SystemExit must
+                    # neither kill the lane's consumer nor leak the pending
+                    # count (hanging every later drain()).  Never retried.
+                    ok = False
+                    break
             with self._condition:
                 self._in_flight -= 1
                 self._counters.executed(ok=ok)

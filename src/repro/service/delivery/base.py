@@ -15,9 +15,13 @@ Executor contract
 
 * **Per-subscription FIFO** — for one subscription id, sinks observe
   notifications in submission order, whatever the executor.
-* **At-most-once** — a submitted task is executed once, or dropped once
-  (counted in :class:`~repro.service.delivery.stats.DeliveryStats`);
-  never retried, never duplicated.
+* **At-most-once settlement** — a submitted task settles exactly once:
+  delivered, failed, dropped, or dead-lettered (counted in
+  :class:`~repro.service.delivery.stats.DeliveryStats`), never
+  duplicated.  Executors with a retry budget may *attempt* a sink more
+  than once before settling; extra attempts are counted in ``retried``
+  and the default budget (one attempt) preserves the historical
+  never-retried semantics.
 * **Bounded backpressure** — asynchronous executors bound each delivery
   lane at ``queue_capacity`` tasks and apply one of the
   :data:`OVERFLOW_POLICIES` when a lane is full: ``"block"`` (the
@@ -56,7 +60,7 @@ __all__ = [
 
 #: Selectable delivery executors, in documentation order.  ``"inline"``
 #: is the historical synchronous behaviour and the default.
-DELIVERY_MODES = ("inline", "threadpool", "asyncio")
+DELIVERY_MODES = ("inline", "threadpool", "asyncio", "webhook")
 
 #: Reactions of a full bounded delivery lane.
 OVERFLOW_POLICIES = ("block", "drop_oldest", "raise")

@@ -8,7 +8,11 @@ Executors mutate one :class:`DeliveryCounters` under its lock;
 The counters obey one invariant the tests pin down (at-most-once
 dispatch)::
 
-    dispatched == delivered + failed + dropped + pending
+    dispatched == delivered + failed + dropped + dead_lettered + pending
+
+``retried`` counts *extra attempts*, not tasks — a task retried twice
+and then delivered contributes 1 to ``delivered`` and 2 to ``retried``
+— so it sits outside the conservation law.
 """
 
 from __future__ import annotations
@@ -43,6 +47,12 @@ class DeliveryStats:
     pending: int = 0
     #: High-water mark of ``pending`` (backpressure visibility).
     max_pending: int = 0
+    #: Extra sink attempts beyond each task's first (retry knobs); not
+    #: part of the at-most-once conservation law.
+    retried: int = 0
+    #: Tasks parked on a dead-letter queue after exhausting their retry
+    #: budget or hitting an open circuit breaker (webhook executor).
+    dead_lettered: int = 0
     #: Executor modes actually instantiated, in first-use order.
     executors: tuple[str, ...] = ()
 
@@ -61,6 +71,8 @@ class DeliveryCounters:
     dropped: int = 0
     pending: int = 0
     max_pending: int = 0
+    retried: int = 0
+    dead_lettered: int = 0
     _condition: threading.Condition = field(
         default_factory=threading.Condition, repr=False
     )
@@ -80,6 +92,18 @@ class DeliveryCounters:
                 self.delivered += 1
             else:
                 self.failed += 1
+            self.pending -= 1
+            self._condition.notify_all()
+
+    def retrying(self, count: int = 1) -> None:
+        """Record extra attempts on a task that has not yet settled."""
+        with self._condition:
+            self.retried += count
+
+    def dead_letter(self) -> None:
+        """Record one task settling on the dead-letter queue."""
+        with self._condition:
+            self.dead_lettered += 1
             self.pending -= 1
             self._condition.notify_all()
 
@@ -109,5 +133,7 @@ class DeliveryCounters:
                 dropped=self.dropped,
                 pending=self.pending,
                 max_pending=self.max_pending,
+                retried=self.retried,
+                dead_lettered=self.dead_lettered,
                 executors=executors,
             )

@@ -1,0 +1,138 @@
+"""SQLite-backed subscription store.
+
+Schema: a ``log`` table keyed by the journal sequence number and a
+single-row ``snapshot`` table.  SQLite's own WAL journal mode gives the
+crash-atomicity (a torn OS-level write never surfaces as a torn row),
+so unlike the JSONL backend there is no tail repair to do — recovery
+either sees a committed record or doesn't.  Record payloads reuse the
+same JSON codec as the JSONL WAL so the two backends are
+byte-comparable in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+
+from repro.core.errors import StoreCorruptionError
+from repro.service.durability.store import (
+    StoreRecord,
+    SubscriptionEntry,
+    SubscriptionStore,
+)
+
+__all__ = ["SqliteSubscriptionStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS log (
+    seq INTEGER PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshot (
+    id INTEGER PRIMARY KEY CHECK (id = 1),
+    last_seq INTEGER NOT NULL,
+    payload TEXT NOT NULL
+);
+"""
+
+
+class SqliteSubscriptionStore(SubscriptionStore):
+    """Durable subscription store backed by a single SQLite file."""
+
+    backend = "sqlite"
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        snapshot_every: int | None = 1000,
+    ) -> None:
+        super().__init__(snapshot_every=snapshot_every)
+        self._path = os.fspath(path)
+        self._conn: sqlite3.Connection | None = None
+
+    @property
+    def path(self) -> str:
+        """The store's database file."""
+        return self._path
+
+    def _ensure_conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            conn = sqlite3.connect(self._path)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    # -- backend hooks ----------------------------------------------------------
+    def _write_record(self, record: StoreRecord) -> None:
+        conn = self._ensure_conn()
+        payload = json.dumps(
+            record.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        conn.execute(
+            "INSERT INTO log (seq, payload) VALUES (?, ?)", (record.seq, payload)
+        )
+        conn.commit()
+
+    def _write_snapshot(self, entries: list[SubscriptionEntry], last_seq: int) -> None:
+        conn = self._ensure_conn()
+        payload = json.dumps(
+            [entry.to_payload() for entry in entries],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with conn:  # one transaction: snapshot replace + log truncation
+            conn.execute(
+                "INSERT INTO snapshot (id, last_seq, payload) VALUES (1, ?, ?) "
+                "ON CONFLICT (id) DO UPDATE SET last_seq = excluded.last_seq, "
+                "payload = excluded.payload",
+                (last_seq, payload),
+            )
+            conn.execute("DELETE FROM log WHERE seq <= ?", (last_seq,))
+
+    def _load_raw(self):
+        conn = self._ensure_conn()
+        snapshot_entries: list[SubscriptionEntry] = []
+        snapshot_seq = 0
+        row = conn.execute(
+            "SELECT last_seq, payload FROM snapshot WHERE id = 1"
+        ).fetchone()
+        if row is not None:
+            try:
+                snapshot_seq = int(row[0])
+                snapshot_entries = [
+                    SubscriptionEntry.from_payload(entry)
+                    for entry in json.loads(row[1])
+                ]
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StoreCorruptionError(
+                    f"snapshot in {self._path} is unreadable: {exc}"
+                ) from exc
+        tail: list[StoreRecord] = []
+        for seq, payload in conn.execute(
+            "SELECT seq, payload FROM log ORDER BY seq"
+        ):
+            try:
+                record = StoreRecord.from_payload(json.loads(payload))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StoreCorruptionError(
+                    f"journal row seq={seq} in {self._path} is unreadable: {exc}"
+                ) from exc
+            tail.append(record)
+        return snapshot_entries, snapshot_seq, tail, 0
+
+    def _sync(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            # NORMAL synchronous + WAL checkpoints on demand: force one so
+            # close()/flush() are real durability points.
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def _close_backend(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

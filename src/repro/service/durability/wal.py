@@ -1,0 +1,174 @@
+"""Append-only JSONL write-ahead log with snapshot + compaction.
+
+Layout: a directory holding ``wal.jsonl`` (one CRC-framed JSON record
+per line, see :mod:`repro.service.durability.codec`) and
+``snapshot.json`` (the folded subscription state up to some sequence
+number).  Snapshots are written atomically — temp file, fsync, rename —
+so a crash during compaction leaves either the old snapshot or the new
+one, never a partial file.
+
+Crash-safety of the journal itself: a process killed mid-append leaves
+a *torn tail* — a final line that is incomplete or fails its CRC.
+:meth:`JsonlWalStore.open` repairs this by truncating the file back to
+the end of the last valid record (counted in
+``DurabilityStats.discarded_records``).  A bad line *followed by valid
+ones* cannot be a torn write and raises
+:class:`~repro.core.errors.StoreCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.errors import StoreCorruptionError
+from repro.service.durability.codec import (
+    decode_record_line,
+    encode_record_line,
+)
+from repro.service.durability.store import (
+    StoreRecord,
+    SubscriptionEntry,
+    SubscriptionStore,
+)
+
+__all__ = ["JsonlWalStore"]
+
+_WAL_NAME = "wal.jsonl"
+_SNAPSHOT_NAME = "snapshot.json"
+
+
+class JsonlWalStore(SubscriptionStore):
+    """Durable subscription store backed by a JSONL WAL directory.
+
+    ``fsync_on_append=True`` makes every :meth:`append` a durable point
+    at the cost of one fsync per operation; the default syncs only on
+    ``flush()``, ``compact()`` and ``close()``, trading a bounded window
+    of recent operations for throughput (the classic group-commit
+    trade-off).
+    """
+
+    backend = "jsonl"
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        snapshot_every: int | None = 1000,
+        fsync_on_append: bool = False,
+    ) -> None:
+        super().__init__(snapshot_every=snapshot_every)
+        self._dir = Path(path)
+        self._fsync_on_append = fsync_on_append
+        self._wal_file = None
+
+    @property
+    def path(self) -> Path:
+        """The store's directory."""
+        return self._dir
+
+    # -- backend hooks ----------------------------------------------------------
+    def _wal_path(self) -> Path:
+        return self._dir / _WAL_NAME
+
+    def _snapshot_path(self) -> Path:
+        return self._dir / _SNAPSHOT_NAME
+
+    def _ensure_wal_open(self):
+        if self._wal_file is None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._wal_file = open(self._wal_path(), "a", encoding="utf-8")
+        return self._wal_file
+
+    def _write_record(self, record: StoreRecord) -> None:
+        handle = self._ensure_wal_open()
+        handle.write(encode_record_line(record.to_payload()))
+        if self._fsync_on_append:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _write_snapshot(self, entries: list[SubscriptionEntry], last_seq: int) -> None:
+        # Flush the journal first so the snapshot never claims records
+        # that a crash could make vanish from the log.
+        if self._wal_file is not None:
+            self._wal_file.flush()
+            os.fsync(self._wal_file.fileno())
+        self._dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "last_seq": last_seq,
+            "entries": [entry.to_payload() for entry in entries],
+        }
+        tmp_path = self._snapshot_path().with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._snapshot_path())
+        # The snapshot now covers every journaled record: restart the log.
+        if self._wal_file is not None:
+            self._wal_file.close()
+        self._wal_file = open(self._wal_path(), "w", encoding="utf-8")
+        self._wal_file.flush()
+        os.fsync(self._wal_file.fileno())
+
+    def _load_raw(self):
+        snapshot_entries: list[SubscriptionEntry] = []
+        snapshot_seq = 0
+        snapshot_path = self._snapshot_path()
+        if snapshot_path.exists():
+            try:
+                with open(snapshot_path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                snapshot_seq = int(payload["last_seq"])
+                snapshot_entries = [
+                    SubscriptionEntry.from_payload(entry)
+                    for entry in payload["entries"]
+                ]
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StoreCorruptionError(
+                    f"snapshot {snapshot_path} is unreadable: {exc}"
+                ) from exc
+
+        tail: list[StoreRecord] = []
+        discarded = 0
+        wal_path = self._wal_path()
+        if wal_path.exists():
+            raw = wal_path.read_bytes()
+            lines = raw.decode("utf-8", errors="replace").splitlines(keepends=True)
+            valid_bytes = 0
+            bad_interior = False
+            for index, line in enumerate(lines):
+                record_payload = decode_record_line(line)
+                if record_payload is None:
+                    # Only the *final* region of the file may be torn.
+                    if any(
+                        decode_record_line(later) is not None
+                        for later in lines[index + 1 :]
+                    ):
+                        bad_interior = True
+                    break
+                tail.append(StoreRecord.from_payload(record_payload))
+                valid_bytes += len(line.encode("utf-8"))
+            if bad_interior:
+                raise StoreCorruptionError(
+                    f"journal {wal_path} has a corrupt interior record; "
+                    "a torn tail would be repairable, this is not"
+                )
+            if valid_bytes < len(raw):
+                discarded = len(lines) - len(tail)
+                with open(wal_path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        return snapshot_entries, snapshot_seq, tail, discarded
+
+    def _sync(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.flush()
+            os.fsync(self._wal_file.fileno())
+
+    def _close_backend(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None

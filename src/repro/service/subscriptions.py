@@ -8,6 +8,7 @@ life-cycle of the service.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
 from typing import Iterator
 
@@ -64,8 +65,19 @@ class SubscriptionRegistry:
                 f"profile id {profile.profile_id!r} already has a subscription"
             )
         if subscription_id is None:
+            # Skip taken ids: after a durable replay registers explicit
+            # ids ("sub-7"), fresh auto-generated ids must not collide.
             self._counter += 1
             subscription_id = f"sub-{self._counter}"
+            while subscription_id in self._subscriptions:
+                self._counter += 1
+                subscription_id = f"sub-{self._counter}"
+        else:
+            # An explicit "sub-N" (durable replay) advances the counter so
+            # later auto ids never resurrect a replayed handle's id.
+            match = re.fullmatch(r"sub-(\d+)", subscription_id)
+            if match:
+                self._counter = max(self._counter, int(match.group(1)))
         if subscription_id in self._subscriptions:
             raise SubscriptionError(f"duplicate subscription id {subscription_id!r}")
         subscription = Subscription(subscription_id, profile, subscriber, sink, delivery)

@@ -1,0 +1,30 @@
+"""``repro.testing`` — deterministic fault injection for robustness tests.
+
+Seeded, counted injectors for the failure modes a production broker
+meets: process kills between WAL records, torn journal tails, transient
+sink exceptions, flaky or dark webhook endpoints.  Used by the
+crash-recovery suite (``tests/service/test_crash_recovery.py``) and
+available to downstream users testing their own deployments.
+"""
+
+from repro.testing.faults import (
+    CrashingStore,
+    FlakySink,
+    InjectedCrash,
+    InjectedFault,
+    dead_transport,
+    flaky_transport,
+    slow_transport,
+    tear_wal_tail,
+)
+
+__all__ = [
+    "CrashingStore",
+    "FlakySink",
+    "InjectedCrash",
+    "InjectedFault",
+    "dead_transport",
+    "flaky_transport",
+    "slow_transport",
+    "tear_wal_tail",
+]

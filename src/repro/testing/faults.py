@@ -1,0 +1,233 @@
+"""Deterministic fault injectors for crash-recovery and delivery tests.
+
+Everything here is seeded or counted — never wall-clock or entropy
+driven — so a failing test replays identically.  Three fault families:
+
+* **Process kill between WAL records** — :class:`CrashingStore` wraps
+  any :class:`~repro.service.durability.SubscriptionStore` and raises
+  :class:`InjectedCrash` *before* the Nth journal write reaches the
+  backend, exactly as a ``kill -9`` between two appends would look on
+  disk; :func:`tear_wal_tail` additionally truncates a JSONL journal
+  mid-record, the torn-tail shape a crash *during* an append leaves.
+* **Sink faults** — :class:`FlakySink` fails its first N deliveries
+  (optionally per notification), then heals; exercises the executors'
+  retry budgets.
+* **Endpoint faults** — :func:`flaky_transport` /
+  :func:`dead_transport` / :func:`slow_transport` are drop-in
+  ``WebhookConfig.transport`` callables simulating flaky-then-healthy,
+  permanently dark and latency-injecting endpoints.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import defaultdict
+from pathlib import Path
+from typing import Callable
+
+from repro.service.durability.store import (
+    DurabilityStats,
+    RecoveredState,
+    StoreRecord,
+    SubscriptionStore,
+)
+
+__all__ = [
+    "CrashingStore",
+    "FlakySink",
+    "InjectedCrash",
+    "InjectedFault",
+    "dead_transport",
+    "flaky_transport",
+    "slow_transport",
+    "tear_wal_tail",
+]
+
+
+class InjectedFault(Exception):
+    """A deliberately injected failure (sink or transport)."""
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated process kill (raised instead of dying for real)."""
+
+
+class CrashingStore:
+    """Kill the process between two WAL records, deterministically.
+
+    Wraps a real store and raises :class:`InjectedCrash` on the
+    ``crash_after``-th append, *before* the record reaches the backend —
+    the store then holds exactly the prefix a killed process would have
+    journaled.  Reopen the **inner** store (or a fresh store over the
+    same path) to recover, exactly like a restarted process would.
+
+    The wrapper proxies the full :class:`SubscriptionStore` API, so a
+    broker accepts it anywhere a store goes.
+    """
+
+    def __init__(self, inner: SubscriptionStore, *, crash_after: int) -> None:
+        if crash_after < 1:
+            raise ValueError("crash_after must be at least 1")
+        self._inner = inner
+        self._crash_after = crash_after
+        self._appends = 0
+        self.crashed = False
+
+    @property
+    def inner(self) -> SubscriptionStore:
+        """The wrapped store (reopen it to simulate the restart)."""
+        return self._inner
+
+    # -- proxied store API ------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return self._inner.backend
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def open(self) -> RecoveredState:
+        return self._inner.open()
+
+    def append(self, op: str, subscription_id: str, **fields) -> StoreRecord:
+        self._appends += 1
+        if self._appends >= self._crash_after:
+            self.crashed = True
+            raise InjectedCrash(
+                f"process killed before journal append #{self._appends}"
+            )
+        return self._inner.append(op, subscription_id, **fields)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def compact(self) -> None:
+        self._inner.compact()
+
+    def close(self) -> None:
+        if self.crashed:
+            return  # a killed process never runs its close path
+        self._inner.close()
+
+    def entries(self):
+        return self._inner.entries()
+
+    def stats(self) -> DurabilityStats:
+        return self._inner.stats()
+
+
+def tear_wal_tail(path: str | os.PathLike, *, drop_bytes: int) -> int:
+    """Truncate a JSONL WAL's final bytes (a crash mid-append).
+
+    ``path`` is the store *directory* (as passed to ``JsonlWalStore``)
+    or the ``wal.jsonl`` file itself.  Returns the resulting file size.
+    """
+    wal = Path(path)
+    if wal.is_dir():
+        wal = wal / "wal.jsonl"
+    size = wal.stat().st_size
+    if drop_bytes < 1 or drop_bytes >= size:
+        raise ValueError(f"drop_bytes must be in [1, {size - 1}] for {wal}")
+    with open(wal, "r+b") as handle:
+        handle.truncate(size - drop_bytes)
+    return size - drop_bytes
+
+
+class FlakySink:
+    """A sink failing its first ``failures`` calls, then delivering.
+
+    ``per_notification=True`` scopes the failure count to each distinct
+    notification (keyed by profile id + event values), which is what a
+    retrying executor sees from a transiently failing subscriber.
+    Thread-safe; records the successfully delivered notifications.
+    """
+
+    def __init__(self, *, failures: int, per_notification: bool = False) -> None:
+        self._failures = failures
+        self._per_notification = per_notification
+        self._lock = threading.Lock()
+        self._calls = 0
+        self._per_key: dict[object, int] = defaultdict(int)
+        self.delivered: list[object] = []
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+    def __call__(self, notification) -> None:
+        with self._lock:
+            self._calls += 1
+            if self._per_notification:
+                key = (notification.profile_id, tuple(sorted(notification.event.values.items())))
+                self._per_key[key] += 1
+                seen = self._per_key[key]
+            else:
+                seen = self._calls
+            if seen <= self._failures:
+                raise InjectedFault(f"flaky sink failure #{seen}")
+            self.delivered.append(notification)
+
+
+def flaky_transport(
+    *, failures_per_endpoint: int, record: list | None = None
+) -> Callable[[str, bytes, float], None]:
+    """A webhook transport failing each endpoint's first N posts.
+
+    The flaky-then-healthy endpoint: deterministic, per endpoint.
+    ``record`` (optional) collects ``(endpoint, payload)`` tuples of the
+    successful posts.
+    """
+    lock = threading.Lock()
+    seen: dict[str, int] = defaultdict(int)
+
+    def transport(endpoint: str, payload: bytes, timeout: float) -> None:
+        with lock:
+            seen[endpoint] += 1
+            count = seen[endpoint]
+        if count <= failures_per_endpoint:
+            raise InjectedFault(f"flaky endpoint {endpoint} failure #{count}")
+        if record is not None:
+            record.append((endpoint, payload))
+
+    return transport
+
+
+def dead_transport(
+    *, dead_endpoints: set[str] | frozenset[str], record: list | None = None
+) -> Callable[[str, bytes, float], None]:
+    """A webhook transport where some endpoints never answer.
+
+    Posts to ``dead_endpoints`` always raise; every other endpoint
+    succeeds (collected into ``record`` when given).
+    """
+    lock = threading.Lock()
+
+    def transport(endpoint: str, payload: bytes, timeout: float) -> None:
+        if endpoint in dead_endpoints:
+            raise InjectedFault(f"endpoint {endpoint} is dark")
+        if record is not None:
+            with lock:
+                record.append((endpoint, payload))
+
+    return transport
+
+
+def slow_transport(
+    *, delay: float, inner: Callable[[str, bytes, float], None] | None = None
+) -> Callable[[str, bytes, float], None]:
+    """A webhook transport adding a fixed real-time delay per post.
+
+    Use sparingly (it really sleeps); pair with small delays to assert
+    that slow endpoints stall only their own lane.
+    """
+    import time
+
+    def transport(endpoint: str, payload: bytes, timeout: float) -> None:
+        time.sleep(delay)
+        if inner is not None:
+            inner(endpoint, payload, timeout)
+
+    return transport

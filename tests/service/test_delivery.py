@@ -73,7 +73,9 @@ class GatedSink(Recorder):
 
 def assert_at_most_once(stats: DeliveryStats) -> None:
     assert stats.pending == 0
-    assert stats.dispatched == stats.delivered + stats.failed + stats.dropped
+    assert stats.dispatched == (
+        stats.delivered + stats.failed + stats.dropped + stats.dead_lettered
+    )
 
 
 class TestValidation:
@@ -99,7 +101,7 @@ class TestValidation:
             )
 
     def test_mode_and_policy_rosters_are_stable(self):
-        assert DELIVERY_MODES == ("inline", "threadpool", "asyncio")
+        assert DELIVERY_MODES == ("inline", "threadpool", "asyncio", "webhook")
         assert OVERFLOW_POLICIES == ("block", "drop_oldest", "raise")
 
 

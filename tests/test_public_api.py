@@ -37,8 +37,10 @@ PACKAGES = [
     "repro.selectivity",
     "repro.analysis",
     "repro.service",
+    "repro.service.durability",
     "repro.service.routing",
     "repro.simulation",
+    "repro.testing",
     "repro.workloads",
     "repro.experiments",
     "repro.experiments.figures",
@@ -142,7 +144,19 @@ API_SURFACE = {
         "dropped",
         "pending",
         "max_pending",
+        "retried",
+        "dead_lettered",
         "executors",
+    ),
+    "DurabilityStats": (
+        "backend",
+        "last_seq",
+        "appended",
+        "tail_records",
+        "snapshots",
+        "replayed_records",
+        "recovered_subscriptions",
+        "discarded_records",
     ),
     "Event": ("values", "timestamp", "source"),
     "FilterService": (
@@ -157,7 +171,13 @@ API_SURFACE = {
         "max_workers",
         "queue_capacity",
         "overflow",
+        "retry_attempts",
+        "retry_backoff",
+        "webhook",
+        "store",
     ),
+    "InMemorySubscriptionStore": ("snapshot_every",),
+    "JsonlWalStore": ("path", "snapshot_every", "fsync_on_append"),
     "Profile": ("profile_id", "predicates", "subscriber", "priority"),
     "ProfileBuilder": ("predicates",),
     "PublishOutcome": ("event", "quenched", "match_result", "notifications"),
@@ -179,9 +199,27 @@ API_SURFACE = {
         "adaptations",
         "delivery",
         "shards",
+        "durability",
     ),
     "ShardStats": ("shard_count", "executor", "profiles_per_shard"),
+    "SqliteSubscriptionStore": ("path", "snapshot_every"),
     "SubscriptionHandle": ("service", "subscription"),
+    "SubscriptionStore": ("snapshot_every",),
+    "WebhookConfig": (
+        "timeout",
+        "max_attempts",
+        "backoff_base",
+        "backoff_max",
+        "jitter",
+        "breaker_threshold",
+        "breaker_cooldown",
+        "dlq_capacity",
+        "seed",
+        "transport",
+        "sleep",
+        "clock",
+    ),
+    "WebhookSink": ("endpoint", "timeout"),
     "build_profiles": ("builders", "id_prefix", "subscriber"),
     "default_registry": (),
     "where": ("attribute",),
@@ -199,6 +237,7 @@ API_METHODS = {
         "handle": ("subscription_id",),
         "handles": (),
         "drain": (),
+        "dead_letters": (),
         "close": ("drain",),
     },
     "SubscriptionHandle": {
@@ -208,6 +247,22 @@ API_METHODS = {
         "deliver_to": ("sink", "delivery"),
         "cancel": (),
         "notifications_received": (),
+    },
+    "SubscriptionStore": {
+        "open": (),
+        "append": (
+            "op",
+            "subscription_id",
+            "profile",
+            "subscriber",
+            "delivery",
+            "endpoint",
+        ),
+        "flush": (),
+        "compact": (),
+        "close": (),
+        "entries": (),
+        "stats": (),
     },
 }
 

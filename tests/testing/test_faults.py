@@ -1,0 +1,189 @@
+"""The fault-injection harness itself: injectors must be deterministic.
+
+A flaky fault injector would make every crash-recovery test flaky, so
+the harness gets its own suite: exact failure counts, exact crash
+points, byte-exact tears.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.events import Event
+from repro.core.predicates import RangePredicate
+from repro.core.profiles import profile
+from repro.service.durability import InMemorySubscriptionStore, JsonlWalStore
+from repro.service.notifications import Notification
+from repro.testing import (
+    CrashingStore,
+    FlakySink,
+    InjectedCrash,
+    InjectedFault,
+    dead_transport,
+    flaky_transport,
+    slow_transport,
+    tear_wal_tail,
+)
+
+PRICES = IntegerDomain(0, 99)
+
+
+def price_profile(profile_id: str, low: int = 0):
+    return profile(profile_id, price=RangePredicate.between(low, 99))
+
+
+def make_notification(profile_id: str = "P1", price: int = 1) -> Notification:
+    return Notification(event=Event({"price": price}), profile_id=profile_id)
+
+
+class TestCrashingStore:
+    def test_crashes_exactly_before_the_nth_append(self):
+        store = CrashingStore(InMemorySubscriptionStore(snapshot_every=None),
+                              crash_after=3)
+        store.open()
+        store.append("subscribe", "sub-1", profile=price_profile("P1"))
+        store.append("subscribe", "sub-2", profile=price_profile("P2"))
+        assert not store.crashed
+        with pytest.raises(InjectedCrash):
+            store.append("subscribe", "sub-3", profile=price_profile("P3"))
+        assert store.crashed
+        # The third record never reached the backend.
+        assert [e.subscription_id for e in store.inner.entries()] == [
+            "sub-1", "sub-2"
+        ]
+
+    def test_close_is_a_no_op_after_the_crash(self):
+        store = CrashingStore(InMemorySubscriptionStore(), crash_after=1)
+        store.open()
+        with pytest.raises(InjectedCrash):
+            store.append("subscribe", "sub-1", profile=price_profile("P1"))
+        store.close()  # a killed process never runs its close path
+        assert not store.inner.closed
+
+    def test_proxies_the_store_api(self):
+        inner = InMemorySubscriptionStore(snapshot_every=None)
+        store = CrashingStore(inner, crash_after=99)
+        recovered = store.open()
+        assert recovered.last_seq == 0
+        store.append("subscribe", "sub-1", profile=price_profile("P1"))
+        store.flush()
+        store.compact()
+        assert store.backend == "memory"
+        assert store.stats().snapshots == 1
+        assert not store.closed
+        store.close()
+        assert inner.closed
+
+    def test_crash_after_validated(self):
+        with pytest.raises(ValueError, match="crash_after"):
+            CrashingStore(InMemorySubscriptionStore(), crash_after=0)
+
+
+class TestTearWalTail:
+    def seeded_wal(self, tmp_path):
+        store = JsonlWalStore(tmp_path / "wal", snapshot_every=None)
+        store.open()
+        store.append("subscribe", "sub-1", profile=price_profile("P1"))
+        store.append("subscribe", "sub-2", profile=price_profile("P2"))
+        store.close()
+        return tmp_path / "wal"
+
+    def test_tears_exact_bytes_from_directory_or_file(self, tmp_path):
+        wal_dir = self.seeded_wal(tmp_path)
+        before = (wal_dir / "wal.jsonl").stat().st_size
+        assert tear_wal_tail(wal_dir, drop_bytes=4) == before - 4
+        assert tear_wal_tail(wal_dir / "wal.jsonl", drop_bytes=3) == before - 7
+
+    def test_drop_bytes_validated(self, tmp_path):
+        wal_dir = self.seeded_wal(tmp_path)
+        size = (wal_dir / "wal.jsonl").stat().st_size
+        with pytest.raises(ValueError, match="drop_bytes"):
+            tear_wal_tail(wal_dir, drop_bytes=0)
+        with pytest.raises(ValueError, match="drop_bytes"):
+            tear_wal_tail(wal_dir, drop_bytes=size)  # tearing everything
+
+
+class TestFlakySink:
+    def test_fails_exactly_n_then_delivers(self):
+        sink = FlakySink(failures=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                sink(make_notification())
+        sink(make_notification(price=7))
+        assert sink.calls == 3
+        assert [n.event["price"] for n in sink.delivered] == [7]
+
+    def test_per_notification_scoping(self):
+        sink = FlakySink(failures=1, per_notification=True)
+        first = make_notification("P1", price=1)
+        second = make_notification("P2", price=2)
+        with pytest.raises(InjectedFault):
+            sink(first)
+        with pytest.raises(InjectedFault):
+            sink(second)  # its *own* first attempt still fails
+        sink(first)
+        sink(second)
+        assert len(sink.delivered) == 2
+
+    def test_thread_safety_of_the_failure_count(self):
+        sink = FlakySink(failures=50)
+        outcomes: list[bool] = []
+        lock = threading.Lock()
+
+        def hammer():
+            for _ in range(25):
+                try:
+                    sink(make_notification())
+                except InjectedFault:
+                    with lock:
+                        outcomes.append(False)
+                else:
+                    with lock:
+                        outcomes.append(True)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count(False) == 50  # exactly `failures` failures
+        assert outcomes.count(True) == 50
+
+
+class TestTransports:
+    def test_flaky_transport_counts_per_endpoint(self):
+        record: list = []
+        transport = flaky_transport(failures_per_endpoint=1, record=record)
+        with pytest.raises(InjectedFault):
+            transport("https://a.test", b"x", 1.0)
+        with pytest.raises(InjectedFault):
+            transport("https://b.test", b"y", 1.0)  # separate counter
+        transport("https://a.test", b"x2", 1.0)
+        transport("https://b.test", b"y2", 1.0)
+        assert record == [("https://a.test", b"x2"), ("https://b.test", b"y2")]
+
+    def test_dead_transport_darkens_only_listed_endpoints(self):
+        record: list = []
+        transport = dead_transport(dead_endpoints={"https://dark.test"},
+                                   record=record)
+        transport("https://ok.test", b"x", 1.0)
+        with pytest.raises(InjectedFault, match="dark"):
+            transport("https://dark.test", b"y", 1.0)
+        with pytest.raises(InjectedFault):
+            transport("https://dark.test", b"y", 1.0)  # stays dark forever
+        assert record == [("https://ok.test", b"x")]
+
+    def test_slow_transport_delays_then_delegates(self):
+        import time
+
+        seen: list = []
+        transport = slow_transport(
+            delay=0.01, inner=lambda e, p, t: seen.append(e)
+        )
+        start = time.monotonic()
+        transport("https://a.test", b"x", 1.0)
+        assert time.monotonic() - start >= 0.01
+        assert seen == ["https://a.test"]
