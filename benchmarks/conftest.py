@@ -30,6 +30,7 @@ _BATCH_SUMMARY: dict[str, dict[str, float]] = {}
 _DELIVERY_SUMMARY: dict[str, dict[str, float]] = {}
 _SHARDED_SUMMARY: dict[str, dict[str, float]] = {}
 _DURABILITY_SUMMARY: dict[str, dict[str, float]] = {}
+_HYBRID_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -178,6 +179,31 @@ def record_durability():
     return _record
 
 
+@pytest.fixture
+def record_hybrid():
+    """Record one mixed-workload engine run for the summary dump.
+
+    Per engine family the charged ops/event and matches/event are exact
+    under the fixed workload seeds (the calibrated ``auto`` run included:
+    arbitration reads deterministic op counters, never the clock), so the
+    regression gate can hold the hybrid-plan win ratios stable.  Extra
+    numeric keys carry the calibration trajectory; timing runs add
+    ``wall_clock_seconds``, gated loosely and only when both summaries
+    carry them.
+    """
+
+    def _record(engine_name: str, statistics, **extra: float) -> None:
+        entry = {
+            "mean_operations_per_event": statistics.average_operations_per_event(),
+            "mean_matches_per_event": statistics.average_matches_per_event(),
+            "events": float(statistics.events),
+        }
+        entry.update(extra)
+        _HYBRID_SUMMARY[engine_name] = entry
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
@@ -191,6 +217,7 @@ def pytest_sessionfinish(session, exitstatus):
         _DELIVERY_SUMMARY,
         _SHARDED_SUMMARY,
         _DURABILITY_SUMMARY,
+        _HYBRID_SUMMARY,
     )
     if not target or not any(summaries):
         return
@@ -206,6 +233,7 @@ def pytest_sessionfinish(session, exitstatus):
         "delivery": dict(sorted(_DELIVERY_SUMMARY.items())),
         "sharded": dict(sorted(_SHARDED_SUMMARY.items())),
         "durability": dict(sorted(_DURABILITY_SUMMARY.items())),
+        "hybrid": dict(sorted(_HYBRID_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

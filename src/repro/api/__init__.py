@@ -97,6 +97,11 @@ service via ``AdaptationPolicy(registry=...)`` — without touching
     service = FilterService(schema, engine="bitmap")
 """
 
+from repro.analysis.calibration import (
+    CalibrationSample,
+    CalibrationSnapshot,
+    CostCalibrator,
+)
 from repro.core.builder import AttributeClause, ProfileBuilder, build_profiles, where
 from repro.core.events import Event
 from repro.core.profiles import Profile
@@ -129,6 +134,9 @@ __all__ = [
     "AdaptationRecord",
     "Attribute",
     "AttributeClause",
+    "CalibrationSample",
+    "CalibrationSnapshot",
+    "CostCalibrator",
     "DeliveryStats",
     "DurabilityStats",
     "EngineCapabilities",

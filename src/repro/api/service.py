@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
+from repro.analysis.calibration import CalibrationSnapshot
 from repro.core.builder import ProfileBuilder
 from repro.core.errors import ProfileError, ServiceError, SubscriptionError
 from repro.core.events import Event
@@ -96,6 +97,10 @@ class ServiceStats:
     #: snapshots taken, records replayed at boot (``None`` when the
     #: service runs without a store).
     durability: DurabilityStats | None = None
+    #: Measured-vs-predicted cost-calibration state of the adaptive
+    #: engine — per-family correction factors and the most recent paired
+    #: samples (``None`` until the first subscription builds an engine).
+    calibration: CalibrationSnapshot | None = None
 
     @property
     def batch_dedup_factor(self) -> float:
@@ -106,6 +111,11 @@ class ServiceStats:
     def applied_adaptations(self) -> int:
         """Return how many re-optimisation decisions were applied."""
         return sum(1 for record in self.adaptations if record.applied)
+
+    @property
+    def recent_adaptations(self) -> tuple[AdaptationRecord, ...]:
+        """Return the newest re-optimisation decisions (up to eight)."""
+        return self.adaptations[-8:]
 
 
 class SubscriptionHandle:
@@ -541,11 +551,13 @@ class FilterService:
         statistics: FilterStatistics = self._broker.statistics
         events = statistics.events
         shards = None
+        calibration = None
         if self._broker.has_engine:
             engine = self._broker.engine
             kernel = engine.kernel_stats()
             adaptations = tuple(engine.adaptations())
             engine_family = engine.engine_family
+            calibration = engine.calibration()
             shard_stats = getattr(engine.matcher, "shard_stats", None)
             if shard_stats is not None:
                 shards = shard_stats()
@@ -575,6 +587,7 @@ class FilterService:
             delivery=self._broker.delivery_stats(),
             shards=shards,
             durability=self._broker.durability_stats(),
+            calibration=calibration,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - display helper

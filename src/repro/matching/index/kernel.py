@@ -104,7 +104,9 @@ class KernelStats:
     events: int = 0
     charged_operations: int = 0
     #: Comparison operations actually executed: each distinct
-    #: (attribute, value) probe of the batch counted once.
+    #: (attribute, value) probe of the batch counted once, and the
+    #: flatten of an interval-slab cover shared by several distinct
+    #: values counted once per cover.
     executed_operations: int = 0
     #: Distinct probes resolved (memo misses) vs probes the per-event
     #: loop would have issued.
@@ -185,21 +187,28 @@ def _schedule(events: list["Event"], probe_states):
     return order, runs
 
 
-def _probe_value(state, value):
+def _probe_value(state, value, seen_covers):
     """Resolve one distinct probe value against one attribute's buckets.
 
-    Returns ``(operations, hits, parts)`` with exactly the accounting the
-    per-event loop would charge any single event carrying ``value``:
+    Returns ``(operations, executed, hits, parts)``: ``operations`` is
+    exactly the accounting the per-event loop would charge any single
+    event carrying ``value``; ``executed`` is the work a fresh probe of
+    the value actually performs — identical except that the comparisons
+    of an interval-slab cover already flattened for an *earlier distinct
+    value of this batch* (tracked in ``seen_covers``) are not re-counted,
+    since the posting cache serves them without re-walking the slabs.
     ``parts`` is a list of ``(memo_key, posting_ids)`` pairs — the hash
     cover, the interval cover and each satisfied scan entry — whose ids
     are disjoint (a profile carries at most one predicate per attribute).
     """
     operations = 0
+    executed = 0
     hits = 0
     parts = []
     hash_table = state.view_hash
     if hash_table is not None:
         operations += 1
+        executed += 1
         entry_ids = hash_table.get(value)
         if entry_ids:
             posting = state.posting_cache.get(entry_ids)
@@ -207,11 +216,13 @@ def _probe_value(state, value):
                 posting = state.flatten(entry_ids)
             ids, comparisons = posting
             operations += comparisons
+            executed += comparisons
             hits += len(ids)
             parts.append((entry_ids, ids))
     interval_bucket = state.view_interval
     if interval_bucket is not None:
         operations += interval_bucket.probe_cost
+        executed += interval_bucket.probe_cost
         cover = interval_bucket.lookup(value)
         if cover:
             posting = state.posting_cache.get(cover)
@@ -219,19 +230,26 @@ def _probe_value(state, value):
                 posting = state.flatten(cover)
             ids, comparisons = posting
             operations += comparisons
+            # Range-heavy columns map many distinct values onto few slab
+            # covers; the flatten runs once per cover, so the executed
+            # side charges it once per cover too.
+            if cover not in seen_covers:
+                seen_covers.add(cover)
+                executed += comparisons
             hits += len(ids)
             parts.append((cover, ids))
     for entry in state.view_scan:
         operations += 1
+        executed += 1
         if entry.predicate.matches(value):
             postings = entry.postings
             hits += len(postings)
             if postings:
                 parts.append((entry.entry_id, postings))
-    return operations, hits, parts
+    return operations, executed, hits, parts
 
 
-def _resolve(memo, state, value, stats):
+def _resolve(memo, seen_covers, state, value, stats):
     """Memoised probe of one ``(attribute, value)`` pair.
 
     The memo entry is ``(operations, hits, payload)`` where ``payload``
@@ -241,11 +259,11 @@ def _resolve(memo, state, value, stats):
     """
     probe = memo.get(value)
     if probe is None:
-        operations, hits, parts = _probe_value(state, value)
+        operations, executed, hits, parts = _probe_value(state, value, seen_covers)
         probe = memo[value] = (operations, hits, parts)
         if stats is not None:
             stats.distinct_probes += 1
-            stats.executed_operations += operations
+            stats.executed_operations += executed
     return probe
 
 
@@ -301,6 +319,10 @@ def match_batch_columnar(
     #: Per-column probe memo, shared across tiles: distinct values resolve
     #: (flatten + accounting) once per batch, not once per tile.
     memos: list[dict] = [{} for _ in probe_states]
+    #: Per-column interval covers already flattened this batch: executed
+    #: work counts each cover's comparisons once, however many distinct
+    #: values resolve to it.
+    cover_sets: list[set] = [set() for _ in probe_states]
     results: list[MatchResult | None] = [None] * n
     if stats is not None:
         stats.events += n
@@ -321,11 +343,11 @@ def match_batch_columnar(
             if end > tile_end:
                 break
             run_cursor += 1
-        _match_tile(matcher, events, tile, tile_runs, memos, results, stats)
+        _match_tile(matcher, events, tile, tile_runs, memos, cover_sets, results, stats)
     return results
 
 
-def _match_tile(matcher, events, tile, tile_runs, memos, results, stats):
+def _match_tile(matcher, events, tile, tile_runs, memos, cover_sets, results, stats):
     """Probe one scheduled row tile and emit its results.
 
     The probe phase is strategy-agnostic: it accumulates per-row charged
@@ -345,12 +367,13 @@ def _match_tile(matcher, events, tile, tile_runs, memos, results, stats):
     # -- column 1: contiguous scheduled runs ------------------------------
     if probe_states:
         first_memo = memos[0]
+        first_covers = cover_sets[0]
         _, state = probe_states[0]
         reject_fast = state.reject_fast
         for value, lo, hi in tile_runs:
             if value is _MISSING:
                 continue
-            operations, hits, parts = _resolve(first_memo, state, value, stats)
+            operations, hits, parts = _resolve(first_memo, first_covers, state, value, stats)
             if operations:
                 for row in range(lo, hi):
                     ops[row] += operations
@@ -364,7 +387,9 @@ def _match_tile(matcher, events, tile, tile_runs, memos, results, stats):
     # -- columns 2+: group the still-alive rows per distinct value --------
     if len(probe_states) > 1:
         alive = [row for row in range(t) if not dead[row]]
-        for (attribute, state), memo in zip(probe_states[1:], memos[1:]):
+        for (attribute, state), memo, seen_covers in zip(
+            probe_states[1:], memos[1:], cover_sets[1:]
+        ):
             if not alive:
                 break
             groups: dict[object, list[int]] = {}
@@ -382,7 +407,7 @@ def _match_tile(matcher, events, tile, tile_runs, memos, results, stats):
             died = False
             reject_fast = state.reject_fast
             for value, rows in groups.items():
-                operations, hits, parts = _resolve(memo, state, value, stats)
+                operations, hits, parts = _resolve(memo, seen_covers, state, value, stats)
                 if operations:
                     for row in rows:
                         ops[row] += operations

@@ -119,6 +119,8 @@ class _AttributeState:
         "range_entry_count",
         "scan_entries",
         "use_index",
+        "use_hash",
+        "use_interval",
         "view_hash",
         "view_interval",
         "view_scan",
@@ -140,11 +142,17 @@ class _AttributeState:
         self.range_entry_count = 0
         self.scan_entries: list[_Entry] = []
         self.use_index = False
-        #: Hot-loop probe view: when the planner picks the index strategy
-        #: these expose the buckets plus the residual scan entries; when it
-        #: picks the scan strategy the bucket views are ``None`` and
-        #: ``view_scan`` is the live ``entries.values()`` view, so the one
-        #: loop shape serves both strategies without a per-event branch.
+        #: Per-structure verdicts (see :class:`AttributePlan`): a binary
+        #: planner couples both to ``use_index``; a hybrid planner may
+        #: route the hash side through its bucket while the interval side
+        #: scans, or vice versa.
+        self.use_hash = False
+        self.use_interval = False
+        #: Hot-loop probe view: when the planner picks an indexed strategy
+        #: for a structure these expose its bucket plus the residual scan
+        #: entries; a demoted structure's entries join ``view_scan``
+        #: instead, so the one loop shape serves every strategy mix
+        #: without a per-event branch.
         self.view_hash: Mapping[object, tuple[int, ...]] | None = None
         self.view_interval: IntervalBucket | None = None
         self.view_scan: Iterable[_Entry] = self.scan_entries
@@ -163,18 +171,28 @@ class _AttributeState:
     def refresh_view(self) -> None:
         """Recompile the probe view after a strategy or bucket change.
 
-        ``view_scan`` aliases live containers (``scan_entries`` or the
-        ``entries`` dict view), so posting edits need no refresh — only
-        bucket creation/teardown and ``use_index`` flips do.
+        In the homogeneous cases ``view_scan`` aliases live containers
+        (``scan_entries`` or the ``entries`` dict view), so posting edits
+        need no refresh — only bucket creation/teardown and strategy
+        flips do.  A *mixed* plan (one structure indexed, the other
+        demoted to scan) materialises the demoted entries into a list;
+        entry creation/removal re-lands here, so the list stays exact.
         """
-        if self.use_index:
-            self.view_hash = self.hash_table
-            self.view_interval = self.interval_bucket
+        self.view_hash = self.hash_table if self.use_hash else None
+        self.view_interval = self.interval_bucket if self.use_interval else None
+        if self.use_hash and self.use_interval:
             self.view_scan = self.scan_entries
-        else:
+        elif not self.use_hash and not self.use_interval:
             self.view_hash = None
             self.view_interval = None
             self.view_scan = self.entries.values()
+        else:
+            demoted = _RANGE if self.use_hash else _HASH
+            self.view_scan = [
+                entry
+                for entry in self.entries.values()
+                if entry.kind == _SCAN or entry.kind == demoted
+            ]
 
     def flatten(self, entry_ids: tuple[int, ...]) -> tuple[tuple[int, ...], int]:
         """Flatten and memoise the posting slab of an entry-id tuple.
@@ -380,15 +398,23 @@ class PredicateIndexMatcher:
         schema = self.profiles.schema
         for attribute in new_attributes:
             state = self._states[attribute]
-            state.use_index = self._planner.plan_attribute(
+            plan = self._planner.plan_attribute(
                 attribute,
                 schema.domain(attribute),
                 hash_bucket=state.hash_bucket,
                 interval_bucket=state.interval_bucket,
                 scan_entry_count=len(state.scan_entries),
-            ).use_index
-            state.refresh_view()
+            )
+            self._adopt_attribute_plan(state, plan)
         self._replan_pending = True
+
+    @staticmethod
+    def _adopt_attribute_plan(state: _AttributeState, plan: AttributePlan) -> None:
+        """Install one attribute's strategy verdicts and recompile its view."""
+        state.use_index = plan.use_index
+        state.use_hash = bool(plan.use_hash)
+        state.use_interval = bool(plan.use_interval)
+        state.refresh_view()
 
     def add_profile(self, profile: Profile) -> None:
         """Register an additional profile via postings deltas.
@@ -496,8 +522,7 @@ class PredicateIndexMatcher:
                 scan_entry_count=len(state.scan_entries),
             )
             plans[attribute] = plan
-            state.use_index = plan.use_index
-            state.refresh_view()
+            self._adopt_attribute_plan(state, plan)
         states = self._states
         self._probe_order = tuple(
             name for name in planner.probe_order(self.profiles) if name in states
@@ -533,7 +558,9 @@ class PredicateIndexMatcher:
         boundaries left stale by incremental removals.
         """
         self._planner = IndexPlanner(
-            event_distributions, attribute_measure=self._planner.attribute_measure
+            event_distributions,
+            attribute_measure=self._planner.attribute_measure,
+            hybrid=self._planner.hybrid,
         )
         self._rebuild()
 
@@ -554,9 +581,16 @@ class PredicateIndexMatcher:
             return plan.estimated_operations_per_event
         total = 0.0
         for attribute, recosted in self.recost_plans(event_distributions).items():
-            current = plan.plan_for(attribute)
-            use_index = current.use_index if current is not None else recosted.use_index
-            total += recosted.index_cost if use_index else recosted.scan_cost
+            current = plan.plan_for(attribute) or recosted
+            total += (
+                recosted.hash_index_cost if current.use_hash else recosted.hash_scan_cost
+            )
+            total += (
+                recosted.interval_index_cost
+                if current.use_interval
+                else recosted.interval_scan_cost
+            )
+            total += recosted.residual_scan_cost
         return total
 
     def recost_plans(
@@ -570,7 +604,9 @@ class PredicateIndexMatcher:
         build the replanned matcher when it actually applies.
         """
         planner = IndexPlanner(
-            event_distributions, attribute_measure=self._planner.attribute_measure
+            event_distributions,
+            attribute_measure=self._planner.attribute_measure,
+            hybrid=self._planner.hybrid,
         )
         schema = self.profiles.schema
         return {

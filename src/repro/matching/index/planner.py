@@ -50,11 +50,19 @@ __all__ = ["AttributePlan", "IndexPlan", "IndexPlanner"]
 
 @dataclass(frozen=True)
 class AttributePlan:
-    """The planner's verdict for one attribute."""
+    """The planner's verdict for one attribute.
+
+    The verdict is *per structure*, not just per attribute: the hash side
+    (``Equals``/``OneOf`` entries) and the interval side (``RangePredicate``
+    entries, answered by the sorted slab decomposition) are costed and
+    chosen independently.  A binary (non-hybrid) planner couples both
+    flags to the aggregate ``use_index`` decision, which reproduces the
+    historical all-or-nothing behaviour exactly.
+    """
 
     attribute: str
-    #: ``True`` when the hash/interval buckets are used; ``False`` when all
-    #: predicates of the attribute are routed to the scan bucket.
+    #: ``True`` when the aggregate indexed strategy beats a full scan —
+    #: the historical binary verdict, still used by non-hybrid planners.
     use_index: bool
     #: Expected comparisons for the indexed strategy (probe + E[hits]).
     index_cost: float
@@ -62,11 +70,51 @@ class AttributePlan:
     scan_cost: float
     #: Number of distinct predicate entries on the attribute.
     entry_count: int
+    #: Per-structure verdicts; ``None`` means "couple to use_index"
+    #: (resolved in ``__post_init__`` so binary plans stay constructible).
+    use_hash: bool | None = None
+    use_interval: bool | None = None
+    #: Component costs.  ``*_index_cost`` is probe + E[hits] for that
+    #: structure alone; ``*_scan_cost`` is its distinct entry count.
+    hash_index_cost: float = 0.0
+    hash_scan_cost: float = 0.0
+    interval_index_cost: float = 0.0
+    interval_scan_cost: float = 0.0
+    #: Entries that can only ever be scanned (NotEquals and friends).
+    residual_scan_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.use_hash is None:
+            object.__setattr__(self, "use_hash", self.use_index)
+        if self.use_interval is None:
+            object.__setattr__(self, "use_interval", self.use_index)
+        components = (
+            self.hash_index_cost,
+            self.hash_scan_cost,
+            self.interval_index_cost,
+            self.interval_scan_cost,
+            self.residual_scan_cost,
+        )
+        if not any(components) and (self.index_cost or self.scan_cost):
+            # Back-compat: a plan built from aggregate costs alone treats
+            # the whole attribute as one hash-side component, so the
+            # component-wise chosen_cost reproduces the binary formula.
+            object.__setattr__(self, "hash_index_cost", self.index_cost)
+            object.__setattr__(self, "hash_scan_cost", self.scan_cost)
 
     @property
     def chosen_cost(self) -> float:
-        """Return the expected cost of the chosen strategy."""
-        return self.index_cost if self.use_index else self.scan_cost
+        """Return the expected cost of the chosen per-structure mix."""
+        hash_part = self.hash_index_cost if self.use_hash else self.hash_scan_cost
+        interval_part = (
+            self.interval_index_cost if self.use_interval else self.interval_scan_cost
+        )
+        return hash_part + interval_part + self.residual_scan_cost
+
+    @property
+    def is_hybrid(self) -> bool:
+        """True when the two structure verdicts disagree (a mixed plan)."""
+        return self.use_hash != self.use_interval
 
 
 @dataclass(frozen=True)
@@ -114,6 +162,7 @@ class IndexPlanner:
         event_distributions: Mapping[str, Distribution] | None = None,
         *,
         attribute_measure: AttributeMeasure = AttributeMeasure.A2_ZERO_PROBABILITY,
+        hybrid: bool = False,
     ) -> None:
         if attribute_measure not in self.SUPPORTED_MEASURES:
             raise SelectivityError(
@@ -122,6 +171,18 @@ class IndexPlanner:
             )
         self.event_distributions = dict(event_distributions) if event_distributions else {}
         self.attribute_measure = attribute_measure
+        #: Hybrid planners choose hash-vs-scan and interval-vs-scan
+        #: independently per attribute; binary planners couple both to the
+        #: aggregate use_index verdict (the historical behaviour).
+        self.hybrid = hybrid
+
+    def _decide(
+        self, *, use_index: bool, indexable: int, index_cost: float, scan_cost: float
+    ) -> bool:
+        """Per-structure verdict: independent when hybrid, coupled otherwise."""
+        if not self.hybrid:
+            return use_index
+        return indexable > 0 and index_cost < scan_cost
 
     # -- probability estimation -------------------------------------------------
     def _value_probability(self, attribute: str, domain: Domain, value: object) -> float:
@@ -176,28 +237,70 @@ class IndexPlanner:
         and therefore never change the decision, but they make the reported
         costs comparable across attributes.
         """
-        indexable = 0
-        probe_cost = 0.0
-        expected_hits = 0.0
+        hash_entries = 0
+        hash_index_cost = 0.0
         if hash_bucket is not None and len(hash_bucket) > 0:
             # Distinct entries, not per-value registrations: a OneOf entry
             # appears under every accepted value but a scan evaluates the
             # predicate once, so scan_cost must count it once.
-            indexable += len({i for _, ids in hash_bucket.items() for i in ids})
-            probe_cost += hash_bucket.probe_cost
-            expected_hits += self.expected_hash_hits(attribute, domain, hash_bucket)
+            hash_entries = len({i for _, ids in hash_bucket.items() for i in ids})
+            hash_index_cost = hash_bucket.probe_cost + self.expected_hash_hits(
+                attribute, domain, hash_bucket
+            )
+        range_entries = 0
+        interval_index_cost = 0.0
         if interval_bucket is not None and len(interval_bucket) > 0:
-            indexable += len({i for _, ids in interval_bucket.slabs() for i in ids})
-            probe_cost += interval_bucket.probe_cost
-            expected_hits += self.expected_interval_hits(attribute, domain, interval_bucket)
-        scan_cost = float(indexable + scan_entry_count)
-        index_cost = probe_cost + expected_hits + float(scan_entry_count)
+            range_entries = len({i for _, ids in interval_bucket.slabs() for i in ids})
+            interval_index_cost = interval_bucket.probe_cost + self.expected_interval_hits(
+                attribute, domain, interval_bucket
+            )
+        return self._assemble_plan(
+            attribute,
+            hash_entries=hash_entries,
+            hash_index_cost=hash_index_cost,
+            range_entries=range_entries,
+            interval_index_cost=interval_index_cost,
+            scan_entries=scan_entry_count,
+        )
+
+    def _assemble_plan(
+        self,
+        attribute: str,
+        *,
+        hash_entries: int,
+        hash_index_cost: float,
+        range_entries: int,
+        interval_index_cost: float,
+        scan_entries: int,
+    ) -> AttributePlan:
+        """Fold component costs into aggregate + per-structure verdicts."""
+        indexable = hash_entries + range_entries
+        scan_cost = float(indexable + scan_entries)
+        index_cost = hash_index_cost + interval_index_cost + float(scan_entries)
+        use_index = indexable > 0 and index_cost < scan_cost
         return AttributePlan(
             attribute=attribute,
-            use_index=indexable > 0 and index_cost < scan_cost,
+            use_index=use_index,
             index_cost=index_cost,
             scan_cost=scan_cost,
-            entry_count=indexable + scan_entry_count,
+            entry_count=indexable + scan_entries,
+            use_hash=self._decide(
+                use_index=use_index,
+                indexable=hash_entries,
+                index_cost=hash_index_cost,
+                scan_cost=float(hash_entries),
+            ),
+            use_interval=self._decide(
+                use_index=use_index,
+                indexable=range_entries,
+                index_cost=interval_index_cost,
+                scan_cost=float(range_entries),
+            ),
+            hash_index_cost=hash_index_cost,
+            hash_scan_cost=float(hash_entries),
+            interval_index_cost=interval_index_cost,
+            interval_scan_cost=float(range_entries),
+            residual_scan_cost=float(scan_entries),
         )
 
     def plan_profiles(self, profiles: "ProfileSet") -> dict[str, AttributePlan]:
@@ -224,41 +327,41 @@ class IndexPlanner:
             hash_entries = 0
             range_entries = 0
             scan_entries = 0
-            expected_hits = 0.0
+            hash_hits = 0.0
+            interval_hits = 0.0
             boundaries: set[float] = set()
             for predicate in predicates:
                 if isinstance(predicate, Equals):
                     hash_entries += 1
-                    expected_hits += self._value_probability(attribute, domain, predicate.value)
+                    hash_hits += self._value_probability(attribute, domain, predicate.value)
                 elif isinstance(predicate, OneOf):
                     hash_entries += 1
-                    expected_hits += sum(
+                    hash_hits += sum(
                         self._value_probability(attribute, domain, value)
                         for value in predicate.values
                     )
                 elif isinstance(predicate, RangePredicate):
                     range_entries += 1
-                    expected_hits += self._interval_probability(
+                    interval_hits += self._interval_probability(
                         attribute, domain, predicate.interval
                     )
                     boundaries.add(predicate.interval.low)
                     boundaries.add(predicate.interval.high)
                 else:
                     scan_entries += 1
-            probe_cost = 0.0
-            if hash_entries:
-                probe_cost += 1.0
-            if range_entries:
-                probe_cost += max(1, len(boundaries).bit_length())
-            indexable = hash_entries + range_entries
-            scan_cost = float(indexable + scan_entries)
-            index_cost = probe_cost + expected_hits + float(scan_entries)
-            plans[attribute] = AttributePlan(
-                attribute=attribute,
-                use_index=indexable > 0 and index_cost < scan_cost,
-                index_cost=index_cost,
-                scan_cost=scan_cost,
-                entry_count=indexable + scan_entries,
+            hash_index_cost = (1.0 + hash_hits) if hash_entries else 0.0
+            interval_index_cost = (
+                max(1, len(boundaries).bit_length()) + interval_hits
+                if range_entries
+                else 0.0
+            )
+            plans[attribute] = self._assemble_plan(
+                attribute,
+                hash_entries=hash_entries,
+                hash_index_cost=hash_index_cost,
+                range_entries=range_entries,
+                interval_index_cost=interval_index_cost,
+                scan_entries=scan_entries,
             )
         return plans
 

@@ -21,8 +21,9 @@ matcher family registers one :class:`EngineSpec` bundling
 ``"auto"`` is not a family: it is the reserved arbitration mode that
 pits every registered family's candidate against the current matcher.
 :func:`default_registry` returns the process-wide registry, pre-populated
-with the built-in ``tree`` and ``index`` families, the partition-parallel
-``sharded`` family, and the ``counting`` and ``naive`` baselines
+with the built-in ``tree``, ``index`` and ``hybrid`` families, the
+partition-parallel ``sharded`` family, and the ``counting`` and ``naive``
+baselines
 (``sharded`` and the baselines are selectable by name, but — with no cost
 estimator — never part of the ``auto`` arbitration); third-party engines
 become selectable by registering a spec — no change to ``repro.service``
@@ -52,6 +53,7 @@ from repro.core.errors import MatchingError
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.profiles import ProfileSet
     from repro.distributions.base import Distribution
+    from repro.matching.index.planner import IndexPlanner
     from repro.matching.interfaces import Matcher
     from repro.matching.tree.config import SearchStrategy, TreeConfiguration
     from repro.selectivity.attribute_measures import AttributeMeasure
@@ -163,6 +165,23 @@ class EngineSpec:
         Callable[
             [EngineContext, "Matcher | None", Mapping[str, "Distribution"]],
             EngineCandidate | None,
+        ]
+        | None
+    ) = None
+    #: Optional calibration-aware costing hook.  When set, the ``auto``
+    #: arbitration calls it instead of :attr:`candidate`, passing the
+    #: engine's :class:`~repro.analysis.calibration.CostCalibrator` so the
+    #: family can apply (or refine) its own correction.  It returns
+    #: ``(candidate, calibrated_cost)`` — the candidate carries the *raw*
+    #: model cost (recorded on the adaptation record), while
+    #: ``calibrated_cost`` is the corrected number the arbitration
+    #: compares — or ``None`` to abstain.  When the hook is ``None`` the
+    #: arbitration falls back to ``candidate`` and scales its cost by the
+    #: calibrator's learned per-family factor.
+    calibrated_candidate: (
+        Callable[
+            [EngineContext, "Matcher | None", Mapping[str, "Distribution"], object],
+            "tuple[EngineCandidate, float] | None",
         ]
         | None
     ) = None
@@ -388,7 +407,9 @@ def _index_factory(ctx: EngineContext) -> "Matcher":
 def _index_owns(matcher: "Matcher") -> bool:
     from repro.matching.index.matcher import PredicateIndexMatcher
 
-    return isinstance(matcher, PredicateIndexMatcher)
+    # A hybrid-planned matcher is the same class with a different planner
+    # mode; it belongs to the ``hybrid`` family.
+    return isinstance(matcher, PredicateIndexMatcher) and not matcher.planner.hybrid
 
 
 def _index_current_cost(matcher: "Matcher", distributions) -> float:
@@ -409,10 +430,9 @@ def _index_replanned(ctx: EngineContext, distributions, attribute_measure) -> "M
 def _index_candidate(
     ctx: EngineContext, matcher: "Matcher | None", distributions
 ) -> EngineCandidate | None:
-    from repro.matching.index.matcher import PredicateIndexMatcher
     from repro.matching.index.planner import IndexPlanner
 
-    if isinstance(matcher, PredicateIndexMatcher):
+    if _index_owns(matcher):
         # A cheap recost of the live buckets; an applied decision replans
         # (rebuilds) in place, keeping the matcher object and its stats.
         recosted = matcher.recost_plans(distributions)
@@ -468,6 +488,107 @@ def _index_reoptimize(
         predicted_current,
         predicted_candidate,
         f"index[{indexed} indexed, P_e estimated]",
+        install,
+    )
+
+
+def _hybrid_planner(ctx: EngineContext, distributions=None) -> "IndexPlanner":
+    from repro.matching.index.planner import IndexPlanner
+
+    return IndexPlanner(
+        distributions, attribute_measure=ctx.attribute_measure, hybrid=True
+    )
+
+
+def _hybrid_factory(ctx: EngineContext) -> "Matcher":
+    from repro.matching.index.matcher import PredicateIndexMatcher
+
+    return PredicateIndexMatcher(
+        ctx.profiles,
+        planner=_hybrid_planner(ctx),
+        min_columnar_batch=ctx.min_columnar_batch,
+    )
+
+
+def _hybrid_owns(matcher: "Matcher") -> bool:
+    from repro.matching.index.matcher import PredicateIndexMatcher
+
+    return isinstance(matcher, PredicateIndexMatcher) and matcher.planner.hybrid
+
+
+def _hybrid_candidate(
+    ctx: EngineContext, matcher: "Matcher | None", distributions
+) -> EngineCandidate | None:
+    if _hybrid_owns(matcher):
+        # Same recipe as the index family: recost the live buckets (the
+        # hybrid planner picks per-structure minima), replan in place.
+        recosted = matcher.recost_plans(distributions)
+        cost = sum(plan.chosen_cost for plan in recosted.values())
+
+        def install() -> "Matcher":
+            matcher.replan(distributions)
+            return matcher
+
+    else:
+        plans = _hybrid_planner(ctx, distributions).plan_profiles(ctx.profiles)
+        cost = sum(plan.chosen_cost for plan in plans.values())
+
+        def install() -> "Matcher":
+            from repro.matching.index.matcher import PredicateIndexMatcher
+
+            return PredicateIndexMatcher(
+                ctx.profiles,
+                planner=_hybrid_planner(ctx, distributions),
+                min_columnar_batch=ctx.min_columnar_batch,
+            )
+
+    return EngineCandidate("hybrid", cost, "hybrid[P_e estimated]", install)
+
+
+def _hybrid_calibrated_candidate(
+    ctx: EngineContext, matcher: "Matcher | None", distributions, calibrator
+) -> "tuple[EngineCandidate, float] | None":
+    """Score the hybrid candidate, borrowing the index factor when new.
+
+    The hybrid family shares the index family's cost model and executor,
+    so until the calibrator has measured a hybrid interval directly, the
+    index family's learned correction is the best available estimate.
+    Without the fallback a never-run hybrid would carry the neutral
+    factor 1.0 and win arbitrations against an honestly-calibrated index
+    plan it cannot beat (the two produce identical plans on homogeneous
+    workloads).
+    """
+    candidate = _hybrid_candidate(ctx, matcher, distributions)
+    if candidate is None:
+        return None
+    family = "hybrid" if calibrator.has_observed("hybrid") else "index"
+    return candidate, candidate.cost * calibrator.factor(family)
+
+
+def _hybrid_reoptimize(
+    ctx: EngineContext, matcher: "Matcher", distributions
+) -> ReoptimisationProposal | None:
+    """Replan the hybrid matcher's buckets from the history.
+
+    ``estimated_cost`` already recosts the *current* per-structure
+    choices under the new distributions, so it is the current side of the
+    comparison; the candidate side takes each attribute's component-wise
+    minimum.
+    """
+    recosted = matcher.recost_plans(distributions)
+    predicted_current = matcher.estimated_cost(distributions)
+    predicted_candidate = sum(plan.chosen_cost for plan in recosted.values())
+    indexed = sum(1 for plan in recosted.values() if plan.use_hash or plan.use_interval)
+    mixed = sum(1 for plan in recosted.values() if plan.is_hybrid)
+
+    def install() -> "Matcher":
+        matcher.replan(distributions)
+        return matcher
+
+    return ReoptimisationProposal(
+        predicted_current,
+        predicted_candidate,
+        f"hybrid[{indexed} indexed, {mixed} mixed, P_e estimated]",
         install,
     )
 
@@ -592,6 +713,26 @@ def _builtin_specs() -> tuple[EngineSpec, ...]:
         min_columnar_batch=None,
         description="predicate-index counting matcher, replanned via the IndexPlanner",
     )
+    hybrid = EngineSpec(
+        name="hybrid",
+        factory=_hybrid_factory,
+        capabilities=EngineCapabilities(incremental_maintenance=True, batch_kernel=True),
+        owns=_hybrid_owns,
+        supported_measures=tuple(IndexPlanner.SUPPORTED_MEASURES),
+        candidate=_hybrid_candidate,
+        calibrated_candidate=_hybrid_calibrated_candidate,
+        current_cost=_index_current_cost,
+        reoptimize=_hybrid_reoptimize,
+        # Arbitrates after index/tree: on workloads where a homogeneous
+        # plan is already optimal the hybrid ties, and the tie goes to the
+        # established family.
+        auto_rank=2,
+        min_columnar_batch=None,
+        description=(
+            "predicate-index matcher with per-attribute hybrid plans "
+            "(hash/interval/scan chosen independently)"
+        ),
+    )
     sharded = EngineSpec(
         name="sharded",
         factory=_sharded_factory,
@@ -630,7 +771,7 @@ def _builtin_specs() -> tuple[EngineSpec, ...]:
         auto_rank=60,
         description="sequential per-profile scan baseline",
     )
-    return (tree, index, sharded, counting, naive)
+    return (tree, index, hybrid, sharded, counting, naive)
 
 
 _DEFAULT: EngineRegistry | None = None

@@ -37,9 +37,11 @@ registry) for :meth:`~repro.matching.registry.EngineRegistry.engine_names`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.analysis.calibration import CalibrationSnapshot, CostCalibrator
 from repro.core.deprecation import warn_once
 from repro.core.errors import MatchingError, ServiceError
 from repro.core.events import Event
@@ -119,6 +121,18 @@ class AdaptationPolicy:
     #: same-family restructures/replans are never held back.  ``0``
     #: disables the cooldown.
     switch_cooldown_intervals: int = 2
+    #: EWMA weight of the measured-cost calibration
+    #: (:class:`~repro.analysis.calibration.CostCalibrator`): after every
+    #: re-optimisation interval the ``auto`` arbitration pairs the cost it
+    #: predicted with the comparison operations per event actually
+    #: measured over that interval, and folds the misprediction ratio
+    #: into a per-family correction factor with this weight.  Candidate
+    #: costs are multiplied by their family's factor before they are
+    #: compared, so a consistently optimistic model stops winning
+    #: arbitrations it should lose.  ``0`` disables calibration (raw
+    #: analytical costs, the pre-calibration behaviour); ``1`` trusts
+    #: only the latest interval.
+    calibration_smoothing: float = 0.5
     #: Columnar batch-kernel cutover for families with a batch kernel
     #: (today: the index family).  ``None`` defers to the registry
     #: entry's default and ultimately to
@@ -165,6 +179,8 @@ class AdaptationPolicy:
             raise ServiceError("history_length must be positive")
         if self.switch_cooldown_intervals < 0:
             raise ServiceError("switch_cooldown_intervals must be non-negative")
+        if not 0.0 <= self.calibration_smoothing <= 1.0:
+            raise ServiceError("calibration_smoothing must lie in [0, 1]")
         if self.min_columnar_batch is not None and self.min_columnar_batch < 0:
             raise ServiceError("min_columnar_batch must be non-negative")
         if self.shard_count is not None and self.shard_count < 1:
@@ -202,6 +218,18 @@ class AdaptationRecord:
     #: but the switch cooldown held it back (``applied`` is then False);
     #: see :attr:`AdaptationPolicy.switch_cooldown_intervals`.
     suppressed: bool = False
+    #: Comparison operations per event actually *measured* over the
+    #: interval that ended at this check (``None`` when the interval saw
+    #: no events).  Pairs with the *previous* record's predicted cost:
+    #: that prediction covered exactly this interval.
+    measured_ops_per_event: float | None = None
+    #: Wall-clock seconds the interval took (optional observability;
+    #: decisions use the deterministic operation currency above).
+    measured_wall_seconds: float | None = None
+    #: Calibration factor applied to ``predicted_candidate`` when the
+    #: decision was taken (``1.0``: the model was trusted as-is); see
+    #: :attr:`AdaptationPolicy.calibration_smoothing`.
+    correction_factor: float = 1.0
 
     @property
     def predicted_improvement(self) -> float:
@@ -209,6 +237,22 @@ class AdaptationRecord:
         if self.predicted_current <= 0:
             return 0.0
         return 1.0 - self.predicted_candidate / self.predicted_current
+
+    def to_dict(self) -> dict:
+        """Return a JSON-friendly view (predicted vs measured cost)."""
+        return {
+            "event_count": self.event_count,
+            "predicted_current": self.predicted_current,
+            "predicted_candidate": self.predicted_candidate,
+            "predicted_improvement": self.predicted_improvement,
+            "applied": self.applied,
+            "configuration_label": self.configuration_label,
+            "engine": self.engine,
+            "suppressed": self.suppressed,
+            "measured_ops_per_event": self.measured_ops_per_event,
+            "measured_wall_seconds": self.measured_wall_seconds,
+            "correction_factor": self.correction_factor,
+        }
 
 
 class AdaptiveFilterEngine:
@@ -241,6 +285,17 @@ class AdaptiveFilterEngine:
         #: Re-optimisation checks left before the auto arbitration may
         #: switch matcher families again (hysteresis).
         self._switch_cooldown = 0
+        #: Measured-cost feedback: cumulative charged operations (and the
+        #: interval markers) pair each check's *measured* ops/event with
+        #: the cost the previous check *predicted* for the same interval.
+        self._calibrator = CostCalibrator(self.policy.calibration_smoothing)
+        self._operations_filtered = 0
+        self._ops_at_last_check = 0
+        self._wall_at_last_check = time.perf_counter()
+        #: ``(family, raw predicted ops/event)`` of whichever configuration
+        #: the last check left running; consumed — observed against the
+        #: measured interval cost — at the next check.
+        self._pending_prediction: tuple[str, float] | None = None
         #: Kernel stats of matcher instances retired by replans/switches;
         #: :meth:`kernel_stats` folds the live matcher's stats on top.
         self._retired_kernel_stats = KernelStats()
@@ -296,6 +351,15 @@ class AdaptiveFilterEngine:
             raise ServiceError("the index engine has no tree configuration")
         return self._matcher.configuration
 
+    @property
+    def calibrator(self) -> CostCalibrator:
+        """Return the live cost calibrator (measured-vs-predicted EWMA)."""
+        return self._calibrator
+
+    def calibration(self) -> CalibrationSnapshot:
+        """Return an immutable snapshot of the calibration state."""
+        return self._calibrator.snapshot()
+
     def adaptations(self) -> list[AdaptationRecord]:
         """Return every re-optimisation decision taken so far."""
         return list(self._adaptations)
@@ -332,6 +396,7 @@ class AdaptiveFilterEngine:
         result = self._matcher.match(event)
         self._history.observe(event)
         self._events_filtered += 1
+        self._operations_filtered += result.operations
         if self._reoptimisation_due():
             self._consider_reoptimisation()
         return result
@@ -362,11 +427,13 @@ class AdaptiveFilterEngine:
             )
             take = max(1, next_due - self._events_filtered)
             chunk = events[position : position + take]
-            results.extend(self._matcher.match_batch(chunk))
+            chunk_results = self._matcher.match_batch(chunk)
+            results.extend(chunk_results)
             observe = self._history.observe
             for event in chunk:
                 observe(event)
             self._events_filtered += len(chunk)
+            self._operations_filtered += sum(r.operations for r in chunk_results)
             if self._reoptimisation_due():
                 self._consider_reoptimisation()
             position += len(chunk)
@@ -394,7 +461,21 @@ class AdaptiveFilterEngine:
         return distributions
 
     def _consider_reoptimisation(self) -> None:
+        events_delta = self._events_filtered - self._events_at_last_check
+        ops_delta = self._operations_filtered - self._ops_at_last_check
+        now = time.perf_counter()
+        wall_delta = now - self._wall_at_last_check
         self._events_at_last_check = self._events_filtered
+        self._ops_at_last_check = self._operations_filtered
+        self._wall_at_last_check = now
+        measured_ops = ops_delta / events_delta if events_delta > 0 else None
+        # Close the feedback loop before any early return: the prediction
+        # the previous check left pending is scored against the interval
+        # that just elapsed, whatever this check goes on to decide.
+        pending, self._pending_prediction = self._pending_prediction, None
+        if pending is not None and measured_ops is not None:
+            family, predicted = pending
+            self._calibrator.observe(family, predicted, measured_ops)
         if len(self.profiles) == 0:
             # Nothing to optimise (every subscription is paused); the
             # engine keeps filtering and recording history.
@@ -404,7 +485,11 @@ class AdaptiveFilterEngine:
         except ServiceError:
             return
         if self.policy.engine == AUTO_ENGINE:
-            self._consider_auto(distributions)
+            self._arbitrate(
+                distributions,
+                measured_ops_per_event=measured_ops,
+                measured_wall_seconds=wall_delta,
+            )
             return
         spec = self._registry.spec(self.policy.engine)
         if spec.reoptimize is None:
@@ -430,10 +515,18 @@ class AdaptiveFilterEngine:
                 applied=applied,
                 configuration_label=proposal.label,
                 engine=spec.name,
+                measured_ops_per_event=measured_ops,
+                measured_wall_seconds=wall_delta,
             )
         )
 
-    def _consider_auto(self, distributions: Mapping[str, Distribution]) -> None:
+    def _arbitrate(
+        self,
+        distributions: Mapping[str, Distribution],
+        *,
+        measured_ops_per_event: float | None = None,
+        measured_wall_seconds: float | None = None,
+    ) -> None:
         """Arbitrate between the registered families (``engine="auto"``).
 
         The decision rule: ask every registry spec with a cost estimator
@@ -451,11 +544,16 @@ class AdaptiveFilterEngine:
         family, on the built-in roster).  The chosen family is exposed as
         :attr:`AdaptationRecord.engine`.
 
-        Caveat inherited from the cost models: both built-in sides count
-        comparison steps, but the counting family charges nothing for its
-        counter bookkeeping (see the baselines benchmark), so the
-        arbitration is biased the same way the paper's operation metric
-        is.
+        **Calibration.**  Raw model costs are corrected before comparison:
+        each family's cost is multiplied by the :class:`CostCalibrator`'s
+        EWMA factor for that family, learned from the measured-vs-predicted
+        ratio of past intervals (a spec may refine this via
+        :attr:`~repro.matching.registry.EngineSpec.calibrated_candidate`).
+        This closes the loop on systematic model bias — e.g. the counting
+        family charging nothing for counter bookkeeping — while the record
+        keeps the *raw* predictions so the bias stays observable:
+        :attr:`AdaptationRecord.correction_factor` is the ratio the winner's
+        cost was scaled by.
 
         **Hysteresis.**  An applied family switch arms a cooldown of
         :attr:`AdaptationPolicy.switch_cooldown_intervals` further checks
@@ -475,23 +573,37 @@ class AdaptiveFilterEngine:
         current_spec = self._registry.owner_of(matcher)
         best = None
         best_spec = None
+        best_calibrated = float("inf")
         for spec in self._registry.arbitrating_specs():
-            candidate = spec.candidate(self._context_for(spec), matcher, distributions)
-            if candidate is None:
-                continue
-            if best is None or candidate.cost < best.cost:
-                best, best_spec = candidate, spec
+            if spec.calibrated_candidate is not None:
+                scored = spec.calibrated_candidate(
+                    self._context_for(spec), matcher, distributions, self._calibrator
+                )
+                if scored is None:
+                    continue
+                candidate, calibrated = scored
+            else:
+                candidate = spec.candidate(self._context_for(spec), matcher, distributions)
+                if candidate is None:
+                    continue
+                calibrated = self._calibrator.calibrate(spec.name, candidate.cost)
+            if best is None or calibrated < best_calibrated:
+                best, best_spec, best_calibrated = candidate, spec, calibrated
         if best is None:
             return
 
         if current_spec is not None and current_spec.current_cost is not None:
             predicted_current = current_spec.current_cost(matcher, distributions)
+            calibrated_current = self._calibrator.calibrate(
+                current_spec.name, predicted_current
+            )
         else:
             # An unknown (or cost-less) family cannot be compared, so any
             # finite candidate is treated as an improvement.
             predicted_current = float("inf")
+            calibrated_current = float("inf")
         improvement = (
-            1.0 - best.cost / predicted_current if predicted_current > 0 else 0.0
+            1.0 - best_calibrated / calibrated_current if calibrated_current > 0 else 0.0
         )
         applied = improvement >= self.policy.improvement_threshold
         is_switch = current_spec is None or best_spec.name != current_spec.name
@@ -503,6 +615,12 @@ class AdaptiveFilterEngine:
             self._adopt_matcher(best.install())
             if is_switch:
                 self._switch_cooldown = self.policy.switch_cooldown_intervals
+        # Leave the raw prediction for whichever configuration runs the
+        # next interval; the next check scores it against measurement.
+        if applied:
+            self._pending_prediction = (best.family, best.cost)
+        elif current_spec is not None and predicted_current < float("inf"):
+            self._pending_prediction = (current_spec.name, predicted_current)
         self._adaptations.append(
             AdaptationRecord(
                 event_count=self._events_filtered,
@@ -512,6 +630,11 @@ class AdaptiveFilterEngine:
                 configuration_label=f"auto:{best.label}",
                 engine=best.family,
                 suppressed=suppressed,
+                measured_ops_per_event=measured_ops_per_event,
+                measured_wall_seconds=measured_wall_seconds,
+                correction_factor=(
+                    best_calibrated / best.cost if best.cost > 0 else 1.0
+                ),
             )
         )
 

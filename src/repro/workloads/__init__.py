@@ -9,6 +9,7 @@ from repro.workloads.generators import (
 from repro.workloads.scenarios import (
     environmental_monitoring_spec,
     facility_management_spec,
+    mixed_workload_spec,
     single_attribute_spec,
     stock_ticker_spec,
     wide_range_spec,
@@ -36,6 +37,7 @@ __all__ = [
     "facility_management_spec",
     "generate_events",
     "generate_profiles",
+    "mixed_workload_spec",
     "single_attribute_spec",
     "stock_ticker_spec",
     "wide_range_spec",

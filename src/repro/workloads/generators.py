@@ -51,6 +51,8 @@ def _profile_predicate(
     """Turn a drawn profile value into a predicate according to the spec."""
     if spec.predicate == "equality":
         return Equals(value)
+    if spec.predicate == "mixed" and rng.random() < spec.mixed_equality_probability:
+        return Equals(value)
     # Range predicate centred on the drawn value.
     full = domain.full_interval()
     if isinstance(domain, DiscreteDomain):

@@ -22,6 +22,7 @@ __all__ = [
     "facility_management_spec",
     "single_attribute_spec",
     "wide_range_spec",
+    "mixed_workload_spec",
 ]
 
 
@@ -192,6 +193,64 @@ def wide_range_spec(
     }
     return WorkloadSpec(
         name="wide-range",
+        schema=schema,
+        attributes=attributes,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )
+
+
+def mixed_workload_spec(
+    *, profile_count: int = 220, event_count: int = 6000, seed: int = 37
+) -> WorkloadSpec:
+    """Return the mixed-structure workload behind the hybrid-plan benchmark.
+
+    Three attribute characters, so no single per-attribute structure fits
+    the whole subscription set:
+
+    * ``symbol`` — *equality-sparse*: every profile pins one of 2000
+      symbols, so the hash side probes in one lookup while a profile tree
+      must walk its root edges sequentially and the scan side would touch
+      every entry.
+    * ``metric`` — *range-heavy mixed*: half the entries are selective
+      equalities (kept on the hash), half are ranges as wide as the whole
+      domain.  Under the peaked (Gauss) event stream almost every range
+      is satisfied, so the interval probe costs its ``log`` overhead on
+      top of touching nearly every entry — the hybrid planner demotes
+      only this structure to a plain scan, which the binary all-or-
+      nothing plan cannot express.
+    * ``band`` — narrow alert bands where the interval index shines;
+      the counting baseline instead pays one comparison per distinct
+      band on every event.
+    """
+    schema = Schema(
+        [
+            Attribute("symbol", IntegerDomain(0, 1999), description="entity id"),
+            Attribute("metric", IntegerDomain(0, 999), description="monitored reading"),
+            Attribute("band", IntegerDomain(0, 999), description="alert band probe"),
+        ]
+    )
+    attributes = {
+        "symbol": AttributeSpec(event_distribution="equal", profile_distribution="equal"),
+        "metric": AttributeSpec(
+            event_distribution="gauss",
+            profile_distribution="gauss",
+            predicate="mixed",
+            range_width_fraction=1.0,
+            mixed_equality_probability=0.5,
+            dont_care_probability=0.5,
+        ),
+        "band": AttributeSpec(
+            event_distribution="equal",
+            profile_distribution="equal",
+            predicate="range",
+            range_width_fraction=0.04,
+            dont_care_probability=0.5,
+        ),
+    }
+    return WorkloadSpec(
+        name="mixed-structure",
         schema=schema,
         attributes=attributes,
         profile_count=profile_count,

@@ -35,11 +35,18 @@ class AttributeSpec:
         Probability that a generated profile leaves the attribute
         unconstrained (the ``*`` of the paper).
     predicate:
-        ``"equality"`` (the paper's prototype) or ``"range"`` — range
+        ``"equality"`` (the paper's prototype), ``"range"`` — range
         predicates cover ``range_width_fraction`` of the domain centred on
-        the drawn value.
+        the drawn value — or ``"mixed"``, where each generated predicate
+        is independently an equality with probability
+        ``mixed_equality_probability`` and a range otherwise.  Mixed
+        attributes are the natural habitat of hybrid per-attribute plans:
+        selective equalities next to broad ranges on the same attribute.
     range_width_fraction:
         Width of generated range predicates relative to the domain size.
+    mixed_equality_probability:
+        Probability that a ``"mixed"`` attribute draws an equality rather
+        than a range predicate (ignored for the other predicate kinds).
     """
 
     event_distribution: str = "equal"
@@ -47,14 +54,17 @@ class AttributeSpec:
     dont_care_probability: float = 0.0
     predicate: str = "equality"
     range_width_fraction: float = 0.1
+    mixed_equality_probability: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.dont_care_probability <= 1.0:
             raise WorkloadError("dont_care_probability must lie in [0, 1]")
-        if self.predicate not in {"equality", "range"}:
-            raise WorkloadError("predicate must be 'equality' or 'range'")
+        if self.predicate not in {"equality", "range", "mixed"}:
+            raise WorkloadError("predicate must be 'equality', 'range' or 'mixed'")
         if not 0.0 < self.range_width_fraction <= 1.0:
             raise WorkloadError("range_width_fraction must lie in (0, 1]")
+        if not 0.0 <= self.mixed_equality_probability <= 1.0:
+            raise WorkloadError("mixed_equality_probability must lie in [0, 1]")
 
 
 @dataclass(frozen=True)

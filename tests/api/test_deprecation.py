@@ -40,6 +40,7 @@ class TestEnginesTupleShim:
             assert adaptive.ENGINES == (
                 "tree",
                 "index",
+                "hybrid",
                 "sharded",
                 "counting",
                 "naive",

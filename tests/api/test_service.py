@@ -31,6 +31,7 @@ class TestConstruction:
         assert service.engines() == (
             "tree",
             "index",
+            "hybrid",
             "sharded",
             "counting",
             "naive",

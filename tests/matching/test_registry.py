@@ -36,14 +36,16 @@ def small_profiles() -> ProfileSet:
 class TestDefaultRegistry:
     def test_builtin_roster(self):
         registry = default_registry()
-        assert registry.names() == ("tree", "index", "sharded", "counting", "naive")
+        assert registry.names() == (
+            "tree", "index", "hybrid", "sharded", "counting", "naive"
+        )
         assert registry.engine_names() == (
-            "tree", "index", "sharded", "counting", "naive", "auto"
+            "tree", "index", "hybrid", "sharded", "counting", "naive", "auto"
         )
         assert "tree" in registry and "index" in registry
-        assert "sharded" in registry
+        assert "hybrid" in registry and "sharded" in registry
         assert "counting" in registry and "naive" in registry
-        assert len(registry) == 5
+        assert len(registry) == 6
 
     def test_auto_starts_on_the_index_family(self):
         assert default_registry().auto_start().name == "index"
@@ -55,15 +57,22 @@ class TestDefaultRegistry:
         assert not registry.spec("tree").capabilities.batch_kernel
 
     def test_owner_of_maps_matchers_to_families(self):
+        from repro.matching.index.planner import IndexPlanner
+
         registry = default_registry()
         profiles = small_profiles()
         assert registry.owner_of(TreeMatcher(profiles)).name == "tree"
         assert registry.owner_of(PredicateIndexMatcher(profiles)).name == "index"
+        # Same class, hybrid planner mode: a different family.
+        hybrid = PredicateIndexMatcher(profiles, planner=IndexPlanner(hybrid=True))
+        assert registry.owner_of(hybrid).name == "hybrid"
         assert registry.owner_of(CountingMatcher(profiles)).name == "counting"
         assert registry.owner_of(NaiveMatcher(profiles)).name == "naive"
 
     def test_unknown_engine_error_lists_registered_names(self):
-        with pytest.raises(MatchingError, match="tree, index, sharded, counting, naive, auto"):
+        with pytest.raises(
+            MatchingError, match="tree, index, hybrid, sharded, counting, naive, auto"
+        ):
             default_registry().spec("quantum")
 
     def test_auto_is_reserved(self):
@@ -111,7 +120,11 @@ class TestBaselineFamilies:
         """No cost estimator: the baselines never arbitrate, and auto
         still starts on the index family."""
         registry = default_registry()
-        assert [spec.name for spec in registry.arbitrating_specs()] == ["index", "tree"]
+        assert [spec.name for spec in registry.arbitrating_specs()] == [
+            "index",
+            "tree",
+            "hybrid",
+        ]
         assert registry.auto_start().name == "index"
 
     def test_no_periodic_restructuring(self):
@@ -224,7 +237,9 @@ class TestThirdPartyEngines:
         assert isinstance(broker.engine.matcher, _ScanSpy)
 
     def test_policy_rejects_unknown_engine_with_roster_listing(self):
-        with pytest.raises(ServiceError, match="tree, index, sharded, counting, naive, auto"):
+        with pytest.raises(
+            ServiceError, match="tree, index, hybrid, sharded, counting, naive, auto"
+        ):
             AdaptationPolicy(engine="quantum")
 
     def test_custom_registry_does_not_leak_into_the_default(self):

@@ -303,6 +303,14 @@ class TestAutoSwitchHysteresis:
 
         registry = EngineRegistry()
         for spec in builtin_specs():
+            if spec.name == "hybrid":
+                # The hybrid family shares the index executor and would
+                # tie-break these synthetic costs; strip its estimators so
+                # the arbitration stays a pure tree<->index flip.
+                registry.register(
+                    replace(spec, candidate=None, calibrated_candidate=None)
+                )
+                continue
             if spec.candidate is None:
                 # The counting/naive baselines carry no cost estimator;
                 # they sit the arbitration out here exactly as they do

@@ -1,0 +1,175 @@
+"""Calibration convergence at the engine level.
+
+A registry family with a deliberately wrong analytical cost model feeds
+the adaptive engine constant mispredictions; the measured-cost feedback
+loop must shrink the calibrated misprediction monotonically, and an
+``auto`` arbitration must stop believing an optimistic-but-wrong model
+once one interval has been measured.
+"""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.events import Event
+from repro.core.profiles import ProfileSet, profile
+from repro.core.schema import Attribute, Schema
+from repro.matching.interfaces import MatchResult
+from repro.matching.registry import EngineCandidate, EngineRegistry, EngineSpec
+from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
+
+
+def tiny_profiles() -> ProfileSet:
+    schema = Schema([Attribute("v", IntegerDomain(0, 9))])
+    return ProfileSet(schema, [profile("P1", v=3)])
+
+
+class _ConstantOpsMatcher:
+    """Deterministic stand-in: every event costs exactly ``ops`` comparisons."""
+
+    def __init__(self, profiles: ProfileSet, ops: int) -> None:
+        self.profiles = profiles
+        self.ops = ops
+
+    def match(self, event: Event) -> MatchResult:
+        return MatchResult((), self.ops, visited_levels=1)
+
+    def match_batch(self, events):
+        return [self.match(event) for event in events]
+
+    def add_profile(self, profile) -> None:
+        self.profiles.add(profile)
+
+    def add_profiles(self, profiles) -> None:
+        for item in profiles:
+            self.profiles.add(item)
+
+    def remove_profile(self, profile_id: str) -> None:
+        self.profiles.remove(profile_id)
+
+
+class _LiarMatcher(_ConstantOpsMatcher):
+    pass
+
+
+class _HonestMatcher(_ConstantOpsMatcher):
+    pass
+
+
+def constant_spec(
+    name: str, cls, *, true_ops: int, predicted: float, auto_rank: int
+) -> EngineSpec:
+    """A family whose model claims ``predicted`` but always costs ``true_ops``."""
+
+    def candidate(ctx, matcher, distributions):
+        return EngineCandidate(
+            name, predicted, f"{name}[constant]", lambda: cls(ctx.profiles, true_ops)
+        )
+
+    return EngineSpec(
+        name=name,
+        factory=lambda ctx: cls(ctx.profiles, true_ops),
+        owns=lambda matcher: type(matcher) is cls,
+        candidate=candidate,
+        current_cost=lambda matcher, distributions: predicted,
+        auto_rank=auto_rank,
+        description=f"constant-cost stub ({name})",
+    )
+
+
+def drive(engine: AdaptiveFilterEngine, count: int) -> None:
+    for index in range(count):
+        engine.match(Event({"v": index % 10}))
+
+
+class TestConvergence:
+    def make_engine(self) -> AdaptiveFilterEngine:
+        registry = EngineRegistry()
+        # The model claims 70 ops/event; the matcher always costs 7.
+        registry.register(
+            constant_spec("stub", _ConstantOpsMatcher, true_ops=7, predicted=70.0, auto_rank=0)
+        )
+        return AdaptiveFilterEngine(
+            tiny_profiles(),
+            policy=AdaptationPolicy(
+                engine="auto",
+                reoptimize_interval=100,
+                warmup_events=100,
+                improvement_threshold=0.5,
+                registry=registry,
+            ),
+        )
+
+    def test_misprediction_shrinks_strictly_and_monotonically(self):
+        engine = self.make_engine()
+        drive(engine, 1200)
+        samples = [s for s in engine.calibration().recent if s.family == "stub"]
+        assert len(samples) >= 6
+        # Every interval measures exactly 7 ops/event against the raw
+        # prediction 70 — a constant 10x misprediction ratio.
+        assert all(s.measured == pytest.approx(7.0) for s in samples)
+        assert all(s.predicted == pytest.approx(70.0) for s in samples)
+        assert all(s.raw_error == pytest.approx(9.0) for s in samples)
+        errors = [s.error for s in samples]
+        assert all(late < early for early, late in zip(errors, errors[1:])), (
+            f"calibrated misprediction not strictly decreasing: {errors}"
+        )
+        # Geometric convergence at rate (1 - smoothing) per observation.
+        assert errors[-1] < errors[0] / 16
+        assert engine.calibrator.factor("stub") == pytest.approx(0.1, rel=0.05)
+
+    def test_records_pair_raw_predictions_with_measurements(self):
+        engine = self.make_engine()
+        drive(engine, 800)
+        records = engine.adaptations()
+        assert records
+        # Raw model numbers stay on the record; the learned correction is
+        # reported separately and drifts toward the true 0.1 ratio.
+        assert all(r.predicted_candidate == pytest.approx(70.0) for r in records)
+        measured = [r.measured_ops_per_event for r in records[1:]]
+        assert all(m == pytest.approx(7.0) for m in measured)
+        assert records[0].correction_factor == pytest.approx(1.0)
+        factors = [r.correction_factor for r in records]
+        assert all(late <= early for early, late in zip(factors, factors[1:]))
+        assert factors[-1] == pytest.approx(0.1, rel=0.1)
+        payload = records[-1].to_dict()
+        assert payload["measured_ops_per_event"] == pytest.approx(7.0)
+        assert payload["correction_factor"] == factors[-1]
+
+
+class TestCalibratedArbitration:
+    def test_auto_abandons_an_optimistic_model_after_one_measurement(self):
+        """The liar family predicts 2 ops/event but costs 20; the honest
+        family predicts its true 10.  Uncalibrated arbitration would run
+        the liar forever — one measured interval flips it."""
+        registry = EngineRegistry()
+        registry.register(
+            constant_spec("liar", _LiarMatcher, true_ops=20, predicted=2.0, auto_rank=0)
+        )
+        registry.register(
+            constant_spec("honest", _HonestMatcher, true_ops=10, predicted=10.0, auto_rank=1)
+        )
+        engine = AdaptiveFilterEngine(
+            tiny_profiles(),
+            policy=AdaptationPolicy(
+                engine="auto",
+                reoptimize_interval=100,
+                warmup_events=100,
+                improvement_threshold=0.05,
+                switch_cooldown_intervals=0,
+                registry=registry,
+            ),
+        )
+        assert isinstance(engine.matcher, _LiarMatcher)  # lowest rank starts
+        drive(engine, 1000)
+        records = engine.adaptations()
+        # First check: nothing measured yet, the liar's 2 < 10 wins.
+        assert records[0].engine == "liar"
+        # As soon as the 20-ops reality is observed, honest wins for good.
+        assert any(r.engine == "honest" and r.applied for r in records)
+        switched_at = next(i for i, r in enumerate(records) if r.engine == "honest")
+        assert all(r.engine == "honest" for r in records[switched_at:])
+        assert isinstance(engine.matcher, _HonestMatcher)
+        # The measured side of the switch record carries the liar's cost.
+        switch = records[switched_at]
+        assert switch.measured_ops_per_event == pytest.approx(20.0)
+        assert engine.calibrator.factor("liar") > 1.0

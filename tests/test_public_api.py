@@ -106,6 +106,7 @@ API_SURFACE = {
         "history_length",
         "engine",
         "switch_cooldown_intervals",
+        "calibration_smoothing",
         "min_columnar_batch",
         "shard_count",
         "registry",
@@ -118,9 +119,15 @@ API_SURFACE = {
         "configuration_label",
         "engine",
         "suppressed",
+        "measured_ops_per_event",
+        "measured_wall_seconds",
+        "correction_factor",
     ),
     "Attribute": ("name", "domain", "unit", "description"),
     "AttributeClause": ("attribute", "base"),
+    "CalibrationSample": ("family", "predicted", "calibrated", "measured"),
+    "CalibrationSnapshot": ("factors", "observations", "recent"),
+    "CostCalibrator": ("smoothing",),
     "EngineCapabilities": ("incremental_maintenance", "batch_kernel"),
     "EngineRegistry": ("specs",),
     "EngineSpec": (
@@ -130,6 +137,7 @@ API_SURFACE = {
         "owns",
         "supported_measures",
         "candidate",
+        "calibrated_candidate",
         "current_cost",
         "reoptimize",
         "auto_rank",
@@ -200,6 +208,7 @@ API_SURFACE = {
         "delivery",
         "shards",
         "durability",
+        "calibration",
     ),
     "ShardStats": ("shard_count", "executor", "profiles_per_shard"),
     "SqliteSubscriptionStore": ("path", "snapshot_every"),
