@@ -38,7 +38,16 @@ MATCHES_METRIC = "mean_matches_per_event"
 WALL_METRIC = "wall_clock_seconds"
 
 #: Sections of the summary payload that hold per-engine metric dicts.
-SECTIONS = ("matchers", "churn", "batch", "delivery", "sharded", "durability", "hybrid")
+SECTIONS = (
+    "matchers",
+    "churn",
+    "batch",
+    "delivery",
+    "sharded",
+    "durability",
+    "hybrid",
+    "routing",
+)
 
 
 def compare_section(

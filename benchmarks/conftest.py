@@ -31,6 +31,7 @@ _DELIVERY_SUMMARY: dict[str, dict[str, float]] = {}
 _SHARDED_SUMMARY: dict[str, dict[str, float]] = {}
 _DURABILITY_SUMMARY: dict[str, dict[str, float]] = {}
 _HYBRID_SUMMARY: dict[str, dict[str, float]] = {}
+_ROUTING_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -204,6 +205,25 @@ def record_hybrid():
     return _record
 
 
+@pytest.fixture
+def record_routing():
+    """Record one broker-overlay scenario for the summary dump.
+
+    Everything the routing benchmark measures is deterministic under
+    fixed seeds: suppression ratios, hop counts, covering-table sizes and
+    cover-check counters come from exact integer accounting, and
+    ``mean_matches_per_event`` (delivered notifications per published
+    event) doubles as the delivery-equivalence signal the gate refuses to
+    let drift.  Timing runs may add ``wall_clock_seconds``, gated loosely
+    and only when both summaries carry it.
+    """
+
+    def _record(scenario_name: str, **metrics: float) -> None:
+        _ROUTING_SUMMARY[scenario_name] = dict(metrics)
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
@@ -218,6 +238,7 @@ def pytest_sessionfinish(session, exitstatus):
         _SHARDED_SUMMARY,
         _DURABILITY_SUMMARY,
         _HYBRID_SUMMARY,
+        _ROUTING_SUMMARY,
     )
     if not target or not any(summaries):
         return
@@ -234,6 +255,7 @@ def pytest_sessionfinish(session, exitstatus):
         "sharded": dict(sorted(_SHARDED_SUMMARY.items())),
         "durability": dict(sorted(_DURABILITY_SUMMARY.items())),
         "hybrid": dict(sorted(_HYBRID_SUMMARY.items())),
+        "routing": dict(sorted(_ROUTING_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

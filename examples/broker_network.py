@@ -2,15 +2,17 @@
 
 The paper positions its filter inside distributed event notification
 services (Siena, Elvin): "unnecessary event information is rejected as early
-as possible".  This example builds a small overlay of five brokers, spreads
-facility-management subscriptions across them — the generated workload mix
-plus fluent-builder alarm profiles wired the same way
-:class:`~repro.api.FilterService` clients write them — publishes sensor
+as possible".  This example builds a :class:`~repro.api.NetworkService`
+overlay of five brokers — each hosting a full engine from the registry —
+spreads facility-management subscriptions across them (the generated
+workload mix plus fluent-builder alarm profiles wired the same way
+:class:`~repro.api.FilterService` clients write them), publishes sensor
 events at the edge brokers through a simulated network with per-hop
-latency, and reports how covering-based routing limits both the brokers
-visited per event and the subscription state forwarded upstream.  A final
-check publishes the same events through one central ``FilterService`` and
-verifies the overlay delivered exactly the same matches.
+latency, and reports how the incrementally maintained covering tables
+limit both the hops an event travels and the subscription state forwarded
+upstream.  A final check publishes the same events through one central
+``FilterService`` and verifies the overlay delivered exactly the same
+matches.
 
 Run with:  python examples/broker_network.py
 """
@@ -18,8 +20,7 @@ Run with:  python examples/broker_network.py
 import random
 from collections import Counter
 
-from repro.api import FilterService, build_profiles, where
-from repro.service import BrokerNetwork
+from repro.api import FilterService, NetworkService, build_profiles, where
 from repro.simulation import SimulationEngine, UniformLatency
 from repro.workloads import build_workload, facility_management_spec
 
@@ -44,7 +45,9 @@ def main() -> None:
     #        west   east
     #        /         \
     #    sensors-a   sensors-b
-    network = BrokerNetwork(schema, latency=UniformLatency(0.5, 2.0, seed=7))
+    network = NetworkService(
+        schema, engine="index", latency=UniformLatency(0.5, 2.0, seed=7)
+    )
     for name in ["hub", "west", "east", "sensors-a", "sensors-b"]:
         network.add_broker(name)
     network.connect("hub", "west")
@@ -56,27 +59,28 @@ def main() -> None:
     rng = random.Random(11)
     homes = ["hub", "west", "east"]
     for item in profiles:
-        network.subscribe(rng.choice(homes), item, item.subscriber or "anonymous")
+        network.subscribe(item, at=rng.choice(homes), subscriber=item.subscriber)
 
-    print("subscription state after covering-based propagation:")
-    for broker_id in network.brokers():
-        broker = network.broker(broker_id)
-        forwarded = sum(len(v) for v in broker.remote_interest.values())
+    print("routing state after covering-based propagation:")
+    for broker_id, broker in sorted(network.stats().brokers.items()):
+        active = sum(broker.active_interest.values())
         print(
-            f"  {broker_id:10s} local profiles = {len(broker.local_profiles):4d}   "
-            f"forwarded interests = {forwarded}"
+            f"  {broker_id:10s} local subscriptions = {broker.subscriptions:4d}   "
+            f"stored routing entries = {broker.routing_table_size:4d}   "
+            f"forwarded (covering-reduced) = {active}"
         )
     print()
 
-    # Publish events at the sensor brokers on simulated time.
+    # Publish events at the sensor brokers on simulated time, one shared
+    # clock across the run.
     engine = SimulationEngine()
-    visited_counter: Counter = Counter()
+    hops_counter: Counter = Counter()
     delivered = 0
     overlay_matches: list[frozenset] = []
     for index, event in enumerate(workload.events):
         origin = "sensors-a" if index % 2 == 0 else "sensors-b"
-        report = network.publish(origin, event, engine=engine)
-        visited_counter[len(report.brokers_visited)] += 1
+        report = network.publish(event, at=origin, simulation=engine)
+        hops_counter[report.max_hops] += 1
         delivered += report.total_notifications
         overlay_matches.append(
             frozenset(
@@ -86,11 +90,18 @@ def main() -> None:
             )
         )
 
+    stats = network.stats()
     print(f"published {len(workload.events)} events from the sensor brokers")
     print(f"delivered notifications : {delivered}")
-    print("brokers visited per event (early rejection at work):")
-    for visited, count in sorted(visited_counter.items()):
-        print(f"  {visited} broker(s): {count} events")
+    print("hops travelled per event (early rejection at work):")
+    for hops, count in sorted(hops_counter.items()):
+        print(f"  {hops} hop(s): {count} events")
+    print(
+        f"per-link decisions: {stats.forwarded_events} forwarded, "
+        f"{stats.suppressed_events} suppressed "
+        f"(suppression rate {stats.suppression_rate:.2f}, "
+        f"cover hit rate {stats.cover_hit_rate:.2f})"
+    )
     print(f"simulated clock at the end of the run: {engine.clock.now:.1f} time units")
     print()
 
@@ -106,6 +117,7 @@ def main() -> None:
         "equivalence check: the 5-broker overlay delivered the same "
         f"{sum(map(len, central_matches))} matches as one central FilterService"
     )
+    network.close()
 
 
 if __name__ == "__main__":

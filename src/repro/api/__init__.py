@@ -95,6 +95,20 @@ service via ``AdaptationPolicy(registry=...)`` — without touching
         EngineSpec(name="bitmap", factory=lambda ctx: BitmapMatcher(ctx.profiles))
     )
     service = FilterService(schema, engine="bitmap")
+
+**9. Go distributed.**  :class:`NetworkService` is the same facade over
+a Siena-style broker overlay: subscribe at a *home* broker, publish
+anywhere, and covering-reduced routing tables (maintained incrementally
+under churn) suppress events as close to the publisher as possible —
+see ``docs/routing.md``::
+
+    net = NetworkService(schema)
+    for b in ("edge", "core", "hub"):
+        net.add_broker(b)
+    net.connect("edge", "core"); net.connect("core", "hub")
+    alarm = net.subscribe(where("temperature").at_least(40), at="hub")
+    net.publish({"temperature": 45, ...}, at="edge")
+    net.stats().suppression_rate
 """
 
 from repro.analysis.calibration import (
@@ -127,6 +141,13 @@ from repro.service.durability import (
     SqliteSubscriptionStore,
     SubscriptionStore,
 )
+from repro.service.routing import (
+    BrokerStats,
+    NetworkDeliveryReport,
+    NetworkService,
+    NetworkStats,
+    NetworkSubscriptionHandle,
+)
 from repro.api.service import FilterService, ServiceStats, SubscriptionHandle
 
 __all__ = [
@@ -134,6 +155,7 @@ __all__ = [
     "AdaptationRecord",
     "Attribute",
     "AttributeClause",
+    "BrokerStats",
     "CalibrationSample",
     "CalibrationSnapshot",
     "CostCalibrator",
@@ -146,6 +168,10 @@ __all__ = [
     "FilterService",
     "InMemorySubscriptionStore",
     "JsonlWalStore",
+    "NetworkDeliveryReport",
+    "NetworkService",
+    "NetworkStats",
+    "NetworkSubscriptionHandle",
     "Profile",
     "ProfileBuilder",
     "PublishOutcome",

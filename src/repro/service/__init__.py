@@ -12,7 +12,14 @@ from repro.service.notifications import Notification, NotificationLog
 from repro.service.quenching import QuenchDecision, Quencher
 from repro.service.routing import (
     BrokerNetwork,
+    CoveringTable,
     DeliveryReport,
+    NetworkDeliveryReport,
+    NetworkService,
+    NetworkStats,
+    NetworkSubscriptionHandle,
+    OverlayBroker,
+    OverlayNetwork,
     RoutingBroker,
     minimal_cover,
     predicate_covers,
@@ -26,9 +33,16 @@ __all__ = [
     "AdaptiveFilterEngine",
     "Broker",
     "BrokerNetwork",
+    "CoveringTable",
     "DeliveryReport",
+    "NetworkDeliveryReport",
+    "NetworkService",
+    "NetworkStats",
+    "NetworkSubscriptionHandle",
     "Notification",
     "NotificationLog",
+    "OverlayBroker",
+    "OverlayNetwork",
     "PublishOutcome",
     "QuenchDecision",
     "Quencher",

@@ -46,7 +46,7 @@ must be re-attached after recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.deprecation import warn_once
 from repro.core.errors import ServiceError, SubscriptionError
@@ -488,9 +488,17 @@ class Broker:
 
     # -- publishing --------------------------------------------------------------------
     def publish(self, event: Event, *, timestamp: float | None = None) -> PublishOutcome:
-        """Publish one event: quench, filter, and deliver notifications."""
+        """Publish one event: quench, filter, and deliver notifications.
+
+        Partial events (a subset of the schema's attributes) are
+        accepted: validation checks the attributes the event *does*
+        carry, and a profile constraining a missing attribute simply
+        does not match.  The tree family predates partial events and
+        raises :class:`~repro.core.errors.MatchingError` on them; every
+        other family handles them natively.
+        """
         self._delivery.ensure_open()
-        event.validate(self._schema, require_all=True)
+        event.validate(self._schema, require_all=False)
         self._clock = timestamp if timestamp is not None else self._clock + 1.0
 
         if self._quencher is not None and self._quencher.quench(event):
@@ -543,14 +551,20 @@ class Broker:
             self._delivery.dispatch(DeliveryPlan(tuple(tasks)))
         return PublishOutcome(event, False, result, tuple(notifications))
 
-    def publish_batch(self, events: Iterable[Event]) -> list[PublishOutcome]:
+    def publish_batch(
+        self,
+        events: Iterable[Event],
+        *,
+        timestamps: Sequence[float] | None = None,
+    ) -> list[PublishOutcome]:
         """Publish a sequence of events through the engine's batch API.
 
         The batch is atomic with respect to validation: every event is
         validated before any clock advance, quenching or delivery happens,
         so an invalid event rejects the whole batch without side effects
         (per-event :meth:`publish` remains available for pipelines that
-        want to deliver the valid prefix).  The surviving events are then
+        want to deliver the valid prefix).  Partial events are accepted,
+        exactly as in :meth:`publish`.  The surviving events are then
         filtered in one
         :meth:`~repro.service.adaptive.AdaptiveFilterEngine.match_batch`
         call; on the index family large batches reach the columnar batch
@@ -558,17 +572,31 @@ class Broker:
         scheduling, per-batch probe dedup, vectorized posting-slab
         counting — so this is the publishing entry point for
         heavy-traffic pipelines.
+
+        ``timestamps`` stamps each event's notifications with an
+        externally supplied clock (one value per event) instead of the
+        broker's internal tick — the broker-overlay substrate uses this
+        to carry *simulated* delivery times across hops.
         """
         self._delivery.ensure_open()
         materialised = list(events)
+        if timestamps is not None and len(timestamps) != len(materialised):
+            raise ServiceError(
+                f"timestamps length {len(timestamps)} does not match "
+                f"batch length {len(materialised)}"
+            )
         for event in materialised:
-            event.validate(self._schema, require_all=True)
+            event.validate(self._schema, require_all=False)
         outcomes: list[PublishOutcome | None] = [None] * len(materialised)
         clocks: list[float] = [0.0] * len(materialised)
         pending_indices: list[int] = []
         for index, event in enumerate(materialised):
-            self._clock += 1.0
-            clocks[index] = self._clock
+            if timestamps is not None:
+                self._clock = max(self._clock, timestamps[index])
+                clocks[index] = timestamps[index]
+            else:
+                self._clock += 1.0
+                clocks[index] = self._clock
             if self._quencher is not None and self._quencher.quench(event):
                 self._quenched_events += 1
                 outcomes[index] = PublishOutcome(event, True, None, tuple())

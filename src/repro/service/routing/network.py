@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.errors import RoutingError
 from repro.core.events import Event
@@ -83,10 +83,6 @@ class RoutingBroker:
         existing.append(profile)
         self.remote_interest[neighbour] = minimal_cover(existing, self.schema)
         return True
-
-    def interested_neighbours(self, event_matcher_ids: Sequence[str]) -> list[str]:
-        """Return neighbours whose forwarded profiles match the event."""
-        raise NotImplementedError  # replaced by BrokerNetwork logic
 
     # -- local filtering ------------------------------------------------------------
     def matcher(self) -> TreeMatcher | None:
@@ -231,11 +227,17 @@ class BrokerNetwork:
         network's latency model; without it the routing happens
         synchronously (hop order is still breadth-first).
         """
-        event.validate(self._schema, require_all=True)
+        # Partial events are accepted, matching the central Broker /
+        # FilterService semantics (a profile constraining a missing
+        # attribute simply does not match).
+        event.validate(self._schema, require_all=False)
         origin = self.broker(broker_id)
         visited: list[str] = []
         notifications: dict[str, tuple[Notification, ...]] = {}
         hops = 0
+        # Hop traversal is iterative (explicit deque): a long broker
+        # chain must never recurse once per hop into the Python stack.
+        frontier: deque[tuple[RoutingBroker, str | None, float]] = deque()
 
         def handle(broker: RoutingBroker, came_from: str | None, timestamp: float) -> None:
             nonlocal hops
@@ -251,7 +253,9 @@ class BrokerNetwork:
                 hops += 1
                 delay = self._latency.delay(broker.broker_id, neighbour)
                 if engine is None:
-                    handle(self.broker(neighbour), broker.broker_id, timestamp + delay)
+                    frontier.append(
+                        (self.broker(neighbour), broker.broker_id, timestamp + delay)
+                    )
                 else:
                     engine.schedule_after(
                         delay,
@@ -262,7 +266,9 @@ class BrokerNetwork:
                     )
 
         start_time = engine.clock.now if engine is not None else 0.0
-        handle(origin, None, start_time)
+        frontier.append((origin, None, start_time))
+        while frontier:
+            handle(*frontier.popleft())
         if engine is not None:
             engine.run()
         return DeliveryReport(

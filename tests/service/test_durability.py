@@ -24,7 +24,7 @@ from repro.api import FilterService, WebhookConfig, WebhookSink
 from repro.core.domains import IntegerDomain
 from repro.core.errors import StoreCorruptionError, StoreError
 from repro.core.events import Event
-from repro.core.predicates import Equals, RangePredicate
+from repro.core.predicates import RangePredicate
 from repro.core.profiles import Profile, profile
 from repro.core.schema import Attribute, Schema
 from repro.service.durability import (

@@ -1,5 +1,8 @@
 """Tests for quenching and the covering relation."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core.domains import ContinuousDomain, IntegerDomain
 from repro.core.events import Event
 from repro.core.predicates import DONT_CARE, Equals, NotEquals, OneOf, RangePredicate
@@ -97,6 +100,36 @@ class TestPredicateCovering:
         assert predicate_covers(NotEquals(5), NotEquals(5), domain)
         assert not predicate_covers(NotEquals(5), NotEquals(6), domain)
 
+    def test_not_equals_covering_one_of(self):
+        domain = IntegerDomain(0, 9)
+        # ≠5 accepts a one-of exactly when 5 is not among its values.
+        assert predicate_covers(NotEquals(5), OneOf([1, 2, 3]), domain)
+        assert not predicate_covers(NotEquals(5), OneOf([4, 5]), domain)
+        # A point exclusion never covers an interval (conservative).
+        assert not predicate_covers(NotEquals(5), RangePredicate.between(6, 8), domain)
+
+    def test_range_covering_clamps_to_the_domain(self):
+        # Intervals are compared after clamping against the attribute
+        # domain — the parts outside the domain can never match an event.
+        assert predicate_covers(
+            RangePredicate.at_least(50), RangePredicate.between(60, 150), self.DOMAIN
+        )
+        assert predicate_covers(
+            RangePredicate.between(0, 300), RangePredicate.at_least(40), self.DOMAIN
+        )
+
+    def test_range_empty_after_clamp_is_covered_by_anything(self):
+        # A range entirely outside the domain accepts no event at all, so
+        # every range covers it...
+        vacuous = RangePredicate.between(150, 180)
+        assert predicate_covers(RangePredicate.between(0, 1), vacuous, self.DOMAIN)
+        # ...and it covers nothing that is satisfiable.
+        assert not predicate_covers(vacuous, RangePredicate.between(0, 1), self.DOMAIN)
+        # Two vacuous ranges cover each other.
+        assert predicate_covers(
+            vacuous, RangePredicate.between(200, 300), self.DOMAIN
+        )
+
 
 class TestProfileCovering:
     def schema(self):
@@ -138,3 +171,74 @@ class TestProfileCovering:
             event = Event({"price": rng.uniform(0, 200), "volume": rng.randint(0, 9)})
             if narrow.matches(event):
                 assert wide.matches(event)
+
+
+# -- hypothesis: syntactic covering implies semantic covering -----------------
+#
+# ``profile_covers(a, b)`` is the routing overlay's licence to *not*
+# forward b where a already went; it is sound only if b's match set is a
+# subset of a's on every event.  The strategy below generates arbitrary
+# predicate combinations (including don't-cares and empty-after-clamp
+# ranges) over a small integer schema and checks the implication.
+
+_COVER_DOMAIN = 10
+_COVER_ATTRIBUTES = ("x", "y")
+
+
+def _cover_schema() -> Schema:
+    return Schema(
+        [Attribute(n, IntegerDomain(0, _COVER_DOMAIN - 1)) for n in _COVER_ATTRIBUTES]
+    )
+
+
+@st.composite
+def _cover_predicates(draw):
+    kind = draw(st.sampled_from(["dont_care", "eq", "neq", "oneof", "range"]))
+    if kind == "dont_care":
+        return DONT_CARE
+    if kind == "eq":
+        return Equals(draw(st.integers(0, _COVER_DOMAIN - 1)))
+    if kind == "neq":
+        return NotEquals(draw(st.integers(0, _COVER_DOMAIN - 1)))
+    if kind == "oneof":
+        values = draw(
+            st.lists(st.integers(0, _COVER_DOMAIN - 1), min_size=1, max_size=4)
+        )
+        return OneOf(values)
+    # Deliberately allow bounds outside the domain: covering must clamp.
+    low = draw(st.integers(-3, _COVER_DOMAIN + 2))
+    high = draw(st.integers(low, _COVER_DOMAIN + 2))
+    return RangePredicate.between(low, high)
+
+
+@st.composite
+def _cover_profiles(draw):
+    predicates = {
+        name: draw(_cover_predicates())
+        for name in _COVER_ATTRIBUTES
+        if draw(st.booleans())
+    }
+    if not predicates:
+        predicates["x"] = draw(_cover_predicates())
+    return predicates
+
+
+@given(_cover_profiles(), _cover_profiles(), st.data())
+@settings(max_examples=200, deadline=None)
+def test_profile_covering_implies_match_set_inclusion(general, specific, data):
+    schema = _cover_schema()
+    a = profile("a", **general)
+    b = profile("b", **specific)
+    if not profile_covers(a, b, schema):
+        return
+    for _ in range(20):
+        event = Event(
+            {
+                name: data.draw(st.integers(0, _COVER_DOMAIN - 1))
+                for name in _COVER_ATTRIBUTES
+            }
+        )
+        if b.matches(event):
+            assert a.matches(event), (
+                f"covering violated: {a} claimed to cover {b} but misses {event}"
+            )

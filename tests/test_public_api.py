@@ -125,6 +125,20 @@ API_SURFACE = {
     ),
     "Attribute": ("name", "domain", "unit", "description"),
     "AttributeClause": ("attribute", "base"),
+    "BrokerStats": (
+        "broker_id",
+        "engine",
+        "engine_family",
+        "subscriptions",
+        "paused_subscriptions",
+        "events_in",
+        "notifications",
+        "operations",
+        "routing_table",
+        "active_interest",
+        "events_forwarded",
+        "events_suppressed",
+    ),
     "CalibrationSample": ("family", "predicted", "calibrated", "measured"),
     "CalibrationSnapshot": ("factors", "observations", "recent"),
     "CostCalibrator": ("smoothing",),
@@ -186,6 +200,34 @@ API_SURFACE = {
     ),
     "InMemorySubscriptionStore": ("snapshot_every",),
     "JsonlWalStore": ("path", "snapshot_every", "fsync_on_append"),
+    "NetworkDeliveryReport": (
+        "origin",
+        "events",
+        "notifications",
+        "event_hops",
+        "hops",
+        "link_transfers",
+    ),
+    "NetworkService": ("schema", "engine", "latency", "delivery"),
+    "NetworkStats": (
+        "brokers",
+        "links",
+        "events_published",
+        "notifications",
+        "hops",
+        "link_transfers",
+        "forwarded_events",
+        "suppressed_events",
+        "subscriptions",
+        "paused_subscriptions",
+        "routing_table_entries",
+        "active_routing_entries",
+        "cover_checks",
+        "cover_hits",
+        "cover_hit_rate",
+        "interest_kernel",
+    ),
+    "NetworkSubscriptionHandle": ("service", "broker_id", "subscription"),
     "Profile": ("profile_id", "predicates", "subscriber", "priority"),
     "ProfileBuilder": ("predicates",),
     "PublishOutcome": ("event", "quenched", "match_result", "notifications"),
@@ -254,6 +296,28 @@ API_METHODS = {
         "resume": (),
         "modify": ("profile",),
         "deliver_to": ("sink", "delivery"),
+        "cancel": (),
+        "notifications_received": (),
+    },
+    "NetworkService": {
+        "add_broker": ("broker_id", "engine", "policy"),
+        "connect": ("first", "second"),
+        "brokers": (),
+        "neighbours": ("broker_id",),
+        "subscribe": ("profile", "at", "subscriber", "profile_id", "sink", "delivery"),
+        "publish": ("event", "at", "simulation"),
+        "publish_batch": ("events", "at", "simulation"),
+        "stats": (),
+        "broker_stats": ("broker_id",),
+        "handle": ("subscription_id",),
+        "handles": (),
+        "drain": (),
+        "close": ("drain",),
+    },
+    "NetworkSubscriptionHandle": {
+        "pause": (),
+        "resume": (),
+        "modify": ("profile",),
         "cancel": (),
         "notifications_received": (),
     },
