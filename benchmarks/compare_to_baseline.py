@@ -47,6 +47,7 @@ SECTIONS = (
     "durability",
     "hybrid",
     "routing",
+    "corpus",
 )
 
 

@@ -32,6 +32,7 @@ _SHARDED_SUMMARY: dict[str, dict[str, float]] = {}
 _DURABILITY_SUMMARY: dict[str, dict[str, float]] = {}
 _HYBRID_SUMMARY: dict[str, dict[str, float]] = {}
 _ROUTING_SUMMARY: dict[str, dict[str, float]] = {}
+_CORPUS_SUMMARY: dict[str, dict[str, float]] = {}
 
 
 def pytest_addoption(parser):
@@ -224,6 +225,56 @@ def record_routing():
     return _record
 
 
+@pytest.fixture
+def record_corpus():
+    """Record one corpus profile x engine-family run for the summary dump.
+
+    Keys are ``"<profile>:<family>"``.  The corpus runner's ops/event and
+    matches/event are deterministic (pinned seeds, pinned shard counts,
+    pinned adaptation knobs), so ``compare_to_baseline.py`` gates every
+    scenario of the corpus individually — a regression names the
+    scenario that moved.  Timing runs add ``wall_clock_seconds``, gated
+    loosely and only when both summaries carry it.
+    """
+
+    def _record(record, **extra: float) -> None:
+        entry = {
+            "mean_operations_per_event": record.ops_per_event,
+            "mean_matches_per_event": record.matches_per_event,
+            "events": float(record.events),
+            "churn_ops": float(record.churn_ops),
+        }
+        if record.wall_clock_seconds is not None:
+            entry["wall_clock_seconds"] = record.wall_clock_seconds
+        entry.update(extra)
+        _CORPUS_SUMMARY[f"{record.profile}:{record.family}"] = entry
+
+    return _record
+
+
+@pytest.fixture
+def profile_service():
+    """Factory for profile-configured services: ``profile_service(scenario=...)``.
+
+    Builds a :class:`repro.api.FilterService` via ``from_profile`` so
+    benchmarks stop duplicating engine/delivery/shard setup; pass
+    ``engine=`` (or any other constructor kwarg) to override the
+    profile's hints.  Services are closed at teardown.
+    """
+    from repro.api import FilterService
+
+    services = []
+
+    def _make(*, scenario: str, **overrides):
+        service = FilterService.from_profile(scenario, **overrides)
+        services.append(service)
+        return service
+
+    yield _make
+    for service in services:
+        service.close()
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_summary.json when ``--bench-summary`` was given."""
     try:
@@ -239,6 +290,7 @@ def pytest_sessionfinish(session, exitstatus):
         _DURABILITY_SUMMARY,
         _HYBRID_SUMMARY,
         _ROUTING_SUMMARY,
+        _CORPUS_SUMMARY,
     )
     if not target or not any(summaries):
         return
@@ -256,6 +308,7 @@ def pytest_sessionfinish(session, exitstatus):
         "durability": dict(sorted(_DURABILITY_SUMMARY.items())),
         "hybrid": dict(sorted(_HYBRID_SUMMARY.items())),
         "routing": dict(sorted(_ROUTING_SUMMARY.items())),
+        "corpus": dict(sorted(_CORPUS_SUMMARY.items())),
     }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -32,9 +32,11 @@ from repro.matching import (
 )
 from repro.matching.index import IndexPlanner
 from repro.selectivity import AttributeMeasure, TreeOptimizer, ValueMeasure
-from repro.workloads import build_workload, stock_ticker_spec
+from repro.workloads import build_workload, get_profile
 
-_WORKLOAD = build_workload(stock_ticker_spec(profile_count=400, event_count=1500))
+_WORKLOAD = build_workload(
+    get_profile("stock-ticker").spec.with_counts(profile_count=400, event_count=1500)
+)
 _EVENTS = list(_WORKLOAD.events)
 
 

@@ -30,10 +30,12 @@ import pytest
 
 from repro.matching import FilterStatistics, PredicateIndexMatcher
 from repro.matching.index import kernel
-from repro.workloads import build_workload, stock_ticker_spec, wide_range_spec
+from repro.workloads import build_workload, get_profile
 
-_STOCK = build_workload(stock_ticker_spec(profile_count=400, event_count=1500))
-_WIDE = build_workload(wide_range_spec(profile_count=1500, event_count=1024))
+_STOCK = build_workload(
+    get_profile("stock-ticker").spec.with_counts(profile_count=400, event_count=1500)
+)
+_WIDE = build_workload(get_profile("wide-range").spec)
 
 #: The acceptance batch size of the stock-ticker dedup gate.
 _STOCK_GATE_BATCH = 256

@@ -33,9 +33,11 @@ from repro.matching import (
     TreeMatcher,
 )
 from repro.service.adaptive import AdaptationPolicy, AdaptiveFilterEngine
-from repro.workloads import build_workload, stock_ticker_spec
+from repro.workloads import build_workload, get_profile
 
-_WORKLOAD = build_workload(stock_ticker_spec(profile_count=300, event_count=400))
+_WORKLOAD = build_workload(
+    get_profile("stock-ticker").spec.with_counts(profile_count=300, event_count=400)
+)
 _EVENTS = list(_WORKLOAD.events)
 _PROFILES = list(_WORKLOAD.profiles)
 

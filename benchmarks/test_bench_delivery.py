@@ -21,9 +21,11 @@ import time
 import pytest
 
 from repro.api import FilterService
-from repro.workloads import build_workload, stock_ticker_spec
+from repro.workloads import build_workload, get_profile
 
-_STOCK = build_workload(stock_ticker_spec(profile_count=400, event_count=1500))
+_STOCK = build_workload(
+    get_profile("stock-ticker").spec.with_counts(profile_count=400, event_count=1500)
+)
 _EVENTS = list(_STOCK.events)
 _PROFILES = list(_STOCK.profiles)
 

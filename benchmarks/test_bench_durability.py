@@ -39,9 +39,11 @@ from repro.core.predicates import RangePredicate
 from repro.core.profiles import profile
 from repro.core.schema import Attribute, Schema
 from repro.testing import InjectedFault
-from repro.workloads import build_workload, stock_ticker_spec
+from repro.workloads import build_workload, get_profile
 
-_STOCK = build_workload(stock_ticker_spec(profile_count=400, event_count=1500))
+_STOCK = build_workload(
+    get_profile("stock-ticker").spec.with_counts(profile_count=400, event_count=1500)
+)
 _EVENTS = list(_STOCK.events)
 _PROFILES = list(_STOCK.profiles)
 
@@ -102,7 +104,7 @@ def test_wal_append_overhead_per_subscribe(backend, tmp_path, record_durability,
 def test_replay_time(backend, tmp_path, record_durability, request):
     """Boot-from-journal latency and post-replay matching equivalence."""
     count = _REPLAY_TIMING if _timing_enabled(request) else _REPLAY_SMOKE
-    spec = stock_ticker_spec(profile_count=count, event_count=1)
+    spec = get_profile("stock-ticker").spec.with_counts(profile_count=count, event_count=1)
     profiles = list(build_workload(spec).profiles)
 
     # Seed the journal directly (the subscribe-path cost is measured

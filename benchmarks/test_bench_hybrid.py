@@ -1,6 +1,6 @@
 """Mixed-workload benchmark: calibrated ``auto`` vs every fixed family.
 
-The mixed-structure workload (:func:`repro.workloads.mixed_workload_spec`)
+The mixed-structure workload (the ``"mixed-structure"`` corpus profile)
 combines an equality-sparse attribute, a range-heavy mixed attribute whose
 broad ranges nearly all match, and a narrow-band attribute — so the best
 per-attribute structures disagree and no single fixed family is optimal:
@@ -28,9 +28,9 @@ import time
 from repro.matching import FilterStatistics, PredicateIndexMatcher
 from repro.matching.index import IndexPlanner
 from repro.service import AdaptationPolicy, AdaptiveFilterEngine
-from repro.workloads import build_workload, mixed_workload_spec
+from repro.workloads import build_workload, get_profile
 
-_WORKLOAD = build_workload(mixed_workload_spec())
+_WORKLOAD = build_workload(get_profile("mixed-structure").spec)
 _EVENTS = list(_WORKLOAD.events)
 
 #: One engine run per family, shared across the tests of this module.
@@ -43,7 +43,7 @@ _POLICY = dict(reoptimize_interval=1000, warmup_events=1000)
 
 def _run(engine_name: str) -> tuple[FilterStatistics, float, AdaptiveFilterEngine]:
     if engine_name not in _RUNS:
-        profiles = build_workload(mixed_workload_spec()).profiles
+        profiles = build_workload(get_profile("mixed-structure").spec).profiles
         engine = AdaptiveFilterEngine(
             profiles, policy=AdaptationPolicy(engine=engine_name, **_POLICY)
         )

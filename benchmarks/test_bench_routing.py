@@ -29,10 +29,14 @@ from repro.core.predicates import Equals, RangePredicate
 from repro.core.profiles import profile
 from repro.service.routing import NetworkService
 from repro.simulation import build_topology, run_fanout_scenario
-from repro.workloads import build_workload, stock_ticker_spec
+from repro.workloads import build_workload, get_profile
 
 _BROKERS = 10
-_SPEC = stock_ticker_spec(profile_count=250, event_count=600, seed=17)
+_SPEC = (
+    get_profile("stock-ticker")
+    .spec.with_counts(profile_count=250, event_count=600)
+    .with_seed(17)
+)
 _WORKLOAD = build_workload(_SPEC)
 _EVENTS = list(_WORKLOAD.events)
 _PROFILES = list(_WORKLOAD.profiles)

@@ -9,15 +9,27 @@ brokers.
 
 import pytest
 
+from repro.core.domains import IntegerDomain
 from repro.matching import TreeMatcher, build_tree
 from repro.matching.statistics import FilterStatistics
-from repro.workloads import build_workload, single_attribute_spec
+from repro.workloads import build_workload, get_profile
+
+
+def _single_attribute(*, events, profiles, domain_size, profile_count, event_count, seed):
+    """The ``single-attribute`` corpus profile with swept knobs applied."""
+    return (
+        get_profile("single-attribute")
+        .spec.with_counts(profile_count=profile_count, event_count=event_count)
+        .with_seed(seed)
+        .with_distributions(events=events, profiles=profiles)
+        .with_domain("value", IntegerDomain(0, domain_size - 1))
+    )
 
 
 @pytest.mark.parametrize("profile_count", [100, 400, 1600])
 def test_tree_construction_scaling(benchmark, profile_count):
     workload = build_workload(
-        single_attribute_spec(
+        _single_attribute(
             events="gauss",
             profiles="equal",
             domain_size=500,
@@ -37,7 +49,7 @@ def test_tree_construction_scaling(benchmark, profile_count):
 def test_matching_cost_scaling(benchmark, profile_count):
     """Binary-search matching cost grows roughly like log2(2p - 1)."""
     workload = build_workload(
-        single_attribute_spec(
+        _single_attribute(
             events="equal",
             profiles="equal",
             domain_size=2000,

@@ -26,9 +26,9 @@ import pytest
 
 from repro.matching import FilterStatistics, PredicateIndexMatcher
 from repro.matching.sharded import ShardedMatcher
-from repro.workloads import build_workload, wide_range_spec
+from repro.workloads import build_workload, get_profile
 
-_WIDE = build_workload(wide_range_spec(profile_count=1500, event_count=1024))
+_WIDE = build_workload(get_profile("wide-range").spec)
 
 _SHARD_COUNTS = (1, 2, 4)
 _SCALING_SHARDS = 4

@@ -22,7 +22,7 @@ from collections import Counter
 
 from repro.api import FilterService, NetworkService, build_profiles, where
 from repro.simulation import SimulationEngine, UniformLatency
-from repro.workloads import build_workload, facility_management_spec
+from repro.workloads import build_workload, get_profile
 
 
 def alarm_profiles():
@@ -36,7 +36,9 @@ def alarm_profiles():
 
 
 def main() -> None:
-    workload = build_workload(facility_management_spec(profile_count=120, event_count=600))
+    workload = build_workload(
+        get_profile("facility").spec.with_counts(profile_count=120, event_count=600)
+    )
     schema = workload.schema
     profiles = list(workload.profiles) + alarm_profiles()
 

@@ -26,11 +26,11 @@ from repro.experiments import (
     STRATEGY_NATURAL,
     evaluate_by_simulation,
 )
-from repro.workloads import build_workload, environmental_monitoring_spec
+from repro.workloads import build_workload, get_profile
 
 
 def main() -> None:
-    spec = environmental_monitoring_spec(profile_count=300, event_count=3000)
+    spec = get_profile("environmental").spec.with_counts(profile_count=300, event_count=3000)
     workload = build_workload(spec)
     print(
         f"workload: {len(workload.profiles)} profiles, {len(workload.events)} events, "

@@ -17,7 +17,7 @@ Run with:  python examples/stock_ticker.py
 import time
 
 from repro.api import AdaptationPolicy, FilterService
-from repro.workloads import build_workload, stock_ticker_spec
+from repro.workloads import build_workload, get_profile
 
 BATCH = 500
 
@@ -44,7 +44,9 @@ def run(name: str, engine: str, workload, events) -> None:
 
 
 def main() -> None:
-    workload = build_workload(stock_ticker_spec(profile_count=500, event_count=3000))
+    workload = build_workload(
+        get_profile("stock-ticker").spec.with_counts(profile_count=500, event_count=3000)
+    )
     events = list(workload.events)
     print(
         f"stock ticker workload: {len(workload.profiles)} subscriptions, "

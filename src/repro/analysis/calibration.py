@@ -109,13 +109,25 @@ class CostCalibrator:
     ``smoothing`` is the EWMA weight α of the newest observation; 0
     disables learning entirely (factors stay 1.0, :meth:`calibrate` is
     the identity), 1 trusts only the latest ratio.
+
+    ``window`` bounds the calibrator's memory for drifting workloads:
+    when set, each family's factor is the EWMA folded over only its last
+    ``window`` observed ratios, so evidence gathered under a previous
+    workload regime ages out *completely* after ``window`` fresh
+    observations instead of lingering as a geometric tail.  ``None``
+    (the default) keeps the unbounded incremental EWMA — identical
+    behaviour to the pre-window calibrator.
     """
 
-    def __init__(self, smoothing: float = 0.5) -> None:
+    def __init__(self, smoothing: float = 0.5, window: int | None = None) -> None:
         if not 0.0 <= smoothing <= 1.0:
             raise ValueError(f"smoothing must be within [0, 1], got {smoothing!r}")
+        if window is not None and window < 1:
+            raise ValueError(f"window must be at least 1, got {window!r}")
         self.smoothing = smoothing
+        self.window = window
         self._factors: dict[str, float] = {}
+        self._ratios: dict[str, deque[float]] = {}
         self._observations = 0
         self._recent: deque[CalibrationSample] = deque(maxlen=_RECENT_SAMPLES)
 
@@ -149,10 +161,21 @@ class CostCalibrator:
         )
         if self.smoothing > 0.0 and predicted > 0.0 and measured > 0.0:
             ratio = measured / predicted
-            previous = self._factors.get(family, 1.0)
-            self._factors[family] = (
-                1.0 - self.smoothing
-            ) * previous + self.smoothing * ratio
+            if self.window is None:
+                previous = self._factors.get(family, 1.0)
+                self._factors[family] = (
+                    1.0 - self.smoothing
+                ) * previous + self.smoothing * ratio
+            else:
+                ratios = self._ratios.setdefault(family, deque(maxlen=self.window))
+                ratios.append(ratio)
+                # Refold from the neutral prior over the surviving window
+                # only: once `window` fresh ratios arrive, older regimes
+                # contribute nothing at all.
+                factor = 1.0
+                for observed in ratios:
+                    factor = (1.0 - self.smoothing) * factor + self.smoothing * observed
+                self._factors[family] = factor
         self._observations += 1
         self._recent.append(sample)
         return sample

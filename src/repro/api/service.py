@@ -370,6 +370,36 @@ class FilterService:
                 handle._state = _PAUSED
             self._handles[subscription.subscription_id] = handle
 
+    @classmethod
+    def from_profile(cls, name_or_path, *, engine: str | None = None, **overrides):
+        """Construct a service pre-configured from a scenario profile.
+
+        ``name_or_path`` is a corpus profile name, a path to a profile
+        file, or an already-loaded
+        :class:`~repro.workloads.profiles.ScenarioProfile`.  The
+        profile's engine hints become the service configuration — engine
+        family, pinned ``shard_count`` and adaptation knobs (via a
+        generated :class:`~repro.service.adaptive.AdaptationPolicy`),
+        delivery mode from the run shape — so examples, benchmarks and
+        the corpus runner stop duplicating setup code.  ``engine``
+        overrides the hinted family (the corpus runner sweeps it);
+        any other constructor keyword can be overridden too.
+        """
+        from repro.workloads.profiles import ScenarioProfile, load_profile
+
+        if isinstance(name_or_path, ScenarioProfile):
+            profile = name_or_path
+        else:
+            profile = load_profile(name_or_path)
+        hints = profile.engine
+        kwargs: dict = {"engine": engine if engine is not None else hints.engine}
+        pinned = hints.policy_overrides()
+        if pinned and "policy" not in overrides:
+            kwargs["policy"] = AdaptationPolicy(engine=kwargs["engine"], **pinned)
+        kwargs["delivery"] = profile.run.delivery
+        kwargs.update(overrides)
+        return cls(profile.spec.schema, **kwargs)
+
     # -- introspection ---------------------------------------------------------
     @property
     def schema(self) -> Schema:

@@ -27,6 +27,7 @@ __all__ = [
     "RoutingError",
     "SimulationError",
     "WorkloadError",
+    "WorkloadSpecError",
     "ExperimentError",
 ]
 
@@ -110,6 +111,20 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid."""
+
+
+class WorkloadSpecError(WorkloadError):
+    """A declarative scenario-profile file is invalid.
+
+    ``key`` names the offending location as a dotted path into the file
+    (e.g. ``"attributes.price.event_distribution"``), so a loader failure
+    points at the exact table entry to fix.  The path is always part of
+    ``str(error)`` too.
+    """
+
+    def __init__(self, key: str, message: str) -> None:
+        super().__init__(f"{key}: {message}")
+        self.key = key
 
 
 class ExperimentError(ReproError):

@@ -22,8 +22,9 @@ from repro.experiments.harness import (
     evaluate_by_simulation,
 )
 from repro.experiments.reporting import FigureRow, FigureTable
+from repro.core.domains import IntegerDomain
 from repro.workloads.generators import Workload, build_workload
-from repro.workloads.scenarios import single_attribute_spec
+from repro.workloads.profiles import get_profile
 
 __all__ = [
     "DistributionCombination",
@@ -53,14 +54,15 @@ def combination_workload(
     seed: int = 5,
 ) -> Workload:
     """Build the single-attribute workload of one P_e/P_p combination."""
-    spec = single_attribute_spec(
-        events=combination.events,
-        profiles=combination.profiles,
-        domain_size=domain_size,
-        profile_count=profile_count,
-        seed=seed,
-        name=f"tv4-{combination.events}-{combination.profiles}".replace(" ", ""),
+    spec = (
+        get_profile("single-attribute")
+        .spec.with_counts(profile_count=profile_count)
+        .with_seed(seed)
+        .with_distributions(events=combination.events, profiles=combination.profiles)
+        .with_name(f"tv4-{combination.events}-{combination.profiles}".replace(" ", ""))
     )
+    if domain_size != 100:
+        spec = spec.with_domain("value", IntegerDomain(0, domain_size - 1))
     return build_workload(spec)
 
 

@@ -36,7 +36,7 @@ from repro.experiments.harness import (
     evaluate_by_simulation,
 )
 from repro.workloads.generators import Workload, build_workload
-from repro.workloads.scenarios import environmental_monitoring_spec, single_attribute_spec
+from repro.workloads.profiles import get_profile
 
 __all__ = [
     "ScenarioResult",
@@ -86,9 +86,12 @@ def run_tv1(
     The paper uses 10 000 profiles; the default here is smaller so the
     scenario stays laptop-friendly, and the count is a parameter.
     """
-    spec = environmental_monitoring_spec(
-        profile_count=profile_count, event_count=1, seed=seed
-    ).with_distributions(events=events, profiles=profiles)
+    spec = (
+        get_profile("environmental")
+        .spec.with_counts(profile_count=profile_count, event_count=1)
+        .with_seed(seed)
+        .with_distributions(events=events, profiles=profiles)
+    )
     workload = build_workload(spec)
     evaluations = evaluate_by_simulation(
         workload,
@@ -110,9 +113,12 @@ def run_tv2(
     seed: int = 37,
 ) -> ScenarioResult:
     """Run scenario TV2: full profile tree, events until 95 % precision."""
-    spec = environmental_monitoring_spec(
-        profile_count=profile_count, event_count=1, seed=seed
-    ).with_distributions(events=events, profiles=profiles)
+    spec = (
+        get_profile("environmental")
+        .spec.with_counts(profile_count=profile_count, event_count=1)
+        .with_seed(seed)
+        .with_distributions(events=events, profiles=profiles)
+    )
     workload = build_workload(spec)
     evaluations = evaluate_by_simulation(
         workload,
@@ -133,13 +139,12 @@ def run_tv3(
     seed: int = 41,
 ) -> ScenarioResult:
     """Run scenario TV3: single attribute, 4 000 sampled events."""
-    spec = single_attribute_spec(
-        events=events,
-        profiles=profiles,
-        profile_count=profile_count,
-        event_count=event_count,
-        seed=seed,
-        name="tv3",
+    spec = (
+        get_profile("single-attribute")
+        .spec.with_counts(profile_count=profile_count, event_count=event_count)
+        .with_seed(seed)
+        .with_distributions(events=events, profiles=profiles)
+        .with_name("tv3")
     )
     workload = build_workload(spec)
     evaluations = evaluate_by_simulation(workload, strategies)
@@ -155,13 +160,12 @@ def run_tv4(
     seed: int = 41,
 ) -> ScenarioResult:
     """Run scenario TV4: single attribute, analytical evaluation (Eq. 2)."""
-    spec = single_attribute_spec(
-        events=events,
-        profiles=profiles,
-        profile_count=profile_count,
-        event_count=1,
-        seed=seed,
-        name="tv4",
+    spec = (
+        get_profile("single-attribute")
+        .spec.with_counts(profile_count=profile_count, event_count=1)
+        .with_seed(seed)
+        .with_distributions(events=events, profiles=profiles)
+        .with_name("tv4")
     )
     workload = build_workload(spec)
     evaluations = evaluate_analytically(workload, strategies)

@@ -133,6 +133,14 @@ class AdaptationPolicy:
     #: analytical costs, the pre-calibration behaviour); ``1`` trusts
     #: only the latest interval.
     calibration_smoothing: float = 0.5
+    #: Bounded memory of the measured-cost calibration under workload
+    #: drift: when set, each family's correction factor is folded over
+    #: only its last this-many observed intervals, so evidence from a
+    #: previous workload regime ages out completely instead of lingering
+    #: as a geometric tail (see
+    #: :class:`~repro.analysis.calibration.CostCalibrator`).  ``None``
+    #: keeps the unbounded EWMA.
+    calibration_window: int | None = None
     #: Columnar batch-kernel cutover for families with a batch kernel
     #: (today: the index family).  ``None`` defers to the registry
     #: entry's default and ultimately to
@@ -181,6 +189,8 @@ class AdaptationPolicy:
             raise ServiceError("switch_cooldown_intervals must be non-negative")
         if not 0.0 <= self.calibration_smoothing <= 1.0:
             raise ServiceError("calibration_smoothing must lie in [0, 1]")
+        if self.calibration_window is not None and self.calibration_window < 1:
+            raise ServiceError("calibration_window must be at least 1")
         if self.min_columnar_batch is not None and self.min_columnar_batch < 0:
             raise ServiceError("min_columnar_batch must be non-negative")
         if self.shard_count is not None and self.shard_count < 1:
@@ -288,7 +298,9 @@ class AdaptiveFilterEngine:
         #: Measured-cost feedback: cumulative charged operations (and the
         #: interval markers) pair each check's *measured* ops/event with
         #: the cost the previous check *predicted* for the same interval.
-        self._calibrator = CostCalibrator(self.policy.calibration_smoothing)
+        self._calibrator = CostCalibrator(
+            self.policy.calibration_smoothing, window=self.policy.calibration_window
+        )
         self._operations_filtered = 0
         self._ops_at_last_check = 0
         self._wall_at_last_check = time.perf_counter()

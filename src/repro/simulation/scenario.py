@@ -30,7 +30,7 @@ from repro.service.routing.service import NetworkService, NetworkStats
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.latency import LatencyModel
 from repro.workloads.generators import build_workload
-from repro.workloads.scenarios import stock_ticker_spec
+from repro.workloads.profiles import get_profile
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["FanOutReport", "build_topology", "run_fanout_scenario"]
@@ -112,10 +112,13 @@ def run_fanout_scenario(
     tables' incremental maintenance while traffic flows.
     """
     rng = random.Random(seed)
-    spec = spec or stock_ticker_spec(
-        profile_count=subscriptions,
-        event_count=max(1, event_batches * batch_size),
-        seed=seed,
+    spec = spec or (
+        get_profile("stock-ticker")
+        .spec.with_counts(
+            profile_count=subscriptions,
+            event_count=max(1, event_batches * batch_size),
+        )
+        .with_seed(seed)
     )
     workload = build_workload(spec)
     service = NetworkService(spec.schema, engine=engine, latency=latency)

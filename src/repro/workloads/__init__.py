@@ -1,10 +1,27 @@
-"""Workload specifications, generators and application scenarios."""
+"""Workload specifications, generators and the declarative scenario corpus.
 
+Scenarios are *data*: the committed corpus of TOML profiles under
+:mod:`repro.workloads.profiles` replaces the hand-written ``*_spec()``
+callables (kept as one-time-warning shims).  ``list_profiles()`` /
+``get_profile(name)`` / ``load_profile(path)`` are the discovery and
+loading API; see ``docs/workloads.md``.
+"""
+
+from repro.core.errors import WorkloadSpecError
 from repro.workloads.generators import (
     Workload,
     build_workload,
     generate_events,
     generate_profiles,
+)
+from repro.workloads.profiles import (
+    EngineHints,
+    RunShape,
+    ScenarioProfile,
+    dump_profile,
+    get_profile,
+    list_profiles,
+    load_profile,
 )
 from repro.workloads.scenarios import (
     environmental_monitoring_spec,
@@ -14,7 +31,7 @@ from repro.workloads.scenarios import (
     stock_ticker_spec,
     wide_range_spec,
 )
-from repro.workloads.spec import AttributeSpec, WorkloadSpec
+from repro.workloads.spec import AttributeSpec, MixGroup, WorkloadSpec
 from repro.workloads.toy import (
     environmental_profiles,
     environmental_schema,
@@ -25,9 +42,15 @@ from repro.workloads.toy import (
 
 __all__ = [
     "AttributeSpec",
+    "EngineHints",
+    "MixGroup",
+    "RunShape",
+    "ScenarioProfile",
     "Workload",
     "WorkloadSpec",
+    "WorkloadSpecError",
     "build_workload",
+    "dump_profile",
     "environmental_monitoring_spec",
     "environmental_profiles",
     "environmental_schema",
@@ -37,6 +60,9 @@ __all__ = [
     "facility_management_spec",
     "generate_events",
     "generate_profiles",
+    "get_profile",
+    "list_profiles",
+    "load_profile",
     "mixed_workload_spec",
     "single_attribute_spec",
     "stock_ticker_spec",

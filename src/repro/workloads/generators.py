@@ -21,7 +21,7 @@ from repro.core.schema import Schema
 from repro.distributions.base import Distribution
 from repro.distributions.joint import IndependentJointDistribution
 from repro.distributions.library import make_distribution
-from repro.workloads.spec import AttributeSpec, WorkloadSpec
+from repro.workloads.spec import AttributeSpec, MixGroup, WorkloadSpec
 
 __all__ = ["Workload", "generate_profiles", "generate_events", "build_workload"]
 
@@ -82,13 +82,21 @@ def generate_profiles(
     re-drawn (a fully unconstrained profile matches every event and is not a
     meaningful subscription).
     """
+    groups: tuple[MixGroup, ...] = tuple(spec.mix)
+    weights = [group.weight for group in groups]
     profiles = ProfileSet(spec.schema)
     for index in range(spec.profile_count):
+        # With a heterogeneous mix, pick this profile's population segment
+        # first; an empty mix never touches the rng, so legacy workloads
+        # generate bit-identically to the pre-mix generator.
+        group: MixGroup | None = None
+        if groups:
+            group = rng.choices(groups, weights=weights, k=1)[0]
         predicates: dict[str, Predicate] = {}
         for attempt in range(100):
             predicates = {}
             for attribute in spec.schema:
-                attribute_spec = spec.spec_for(attribute.name)
+                attribute_spec = spec.spec_for(attribute.name, group)
                 if rng.random() < attribute_spec.dont_care_probability:
                     continue
                 distribution = profile_distributions[attribute.name]

@@ -1,0 +1,39 @@
+"""Declarative scenario profiles — workloads as data.
+
+The corpus lives next to this module as ``*.toml`` files; each one is a
+complete scenario (schema, per-attribute distributions, profile mix,
+counts, seed, run shape, engine hints).  ``list_profiles()`` discovers
+the committed corpus, ``get_profile(name)`` loads one by name (cached),
+``load_profile(path)`` loads out-of-tree files, and ``dump_profile``
+writes a fully-resolved profile back out — the round-trip the loader
+tests pin.  See ``docs/workloads.md`` for the file-format reference and
+the corpus catalog.
+"""
+
+from repro.core.errors import WorkloadSpecError
+from repro.workloads.profiles.loader import (
+    PROFILES_DIR,
+    dump_profile,
+    get_profile,
+    list_profiles,
+    load_profile,
+)
+from repro.workloads.profiles.model import (
+    DEFAULT_FAMILIES,
+    EngineHints,
+    RunShape,
+    ScenarioProfile,
+)
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "EngineHints",
+    "PROFILES_DIR",
+    "RunShape",
+    "ScenarioProfile",
+    "WorkloadSpecError",
+    "dump_profile",
+    "get_profile",
+    "list_profiles",
+    "load_profile",
+]

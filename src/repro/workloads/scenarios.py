@@ -1,18 +1,23 @@
-"""Application scenarios from the paper's introduction.
+"""Legacy scenario callables — thin shims over the declarative corpus.
 
-The introduction motivates the work with "stock tickers, environmental
-monitoring, and facility management" and observes that their event and
-profile distributions are far from uniform: stock subscribers concentrate on
-"a small range of values for certain shares", environmental sensors produce
-roughly uniform readings while users subscribe to catastrophe thresholds,
-and facility management mixes periodic uniform telemetry with alarm-focused
-subscriptions.  These scenarios back the example programs and the baseline
-benchmarks; the figure experiments use purpose-built specs instead.
+The application scenarios these functions used to hand-build now live as
+declarative profiles under :mod:`repro.workloads.profiles` (one TOML
+file per scenario); the committed files are the source of truth and the
+corpus runner's input.  Each ``*_spec()`` callable below loads its
+declarative replacement and emits a one-time :class:`DeprecationWarning`
+via :func:`repro.core.deprecation.warn_once` — the specs it returns stay
+bit-identical to the pre-redesign hand-built ones (pinned by
+``tests/workloads/test_profiles.py``), so existing callers keep working
+unchanged.  New code should call
+:func:`repro.workloads.profiles.get_profile` instead.
 """
 
 from __future__ import annotations
 
-from repro.core.domains import DiscreteDomain, IntegerDomain
+from dataclasses import replace
+
+from repro.core.deprecation import warn_once
+from repro.core.domains import IntegerDomain
 from repro.core.schema import Attribute, Schema
 from repro.workloads.spec import AttributeSpec, WorkloadSpec
 
@@ -26,45 +31,33 @@ __all__ = [
 ]
 
 
+def _declarative_spec(
+    shim: str, profile_name: str, *, profile_count: int, event_count: int, seed: int
+) -> WorkloadSpec:
+    """Load a corpus profile's spec for a legacy shim, warning once."""
+    warn_once(
+        f"repro.workloads.scenarios.{shim}",
+        f"{shim}() is deprecated; the scenario is the declarative profile "
+        f"{profile_name!r} — use repro.workloads.profiles.get_profile"
+        f"({profile_name!r}).spec instead",
+    )
+    from repro.workloads.profiles import get_profile
+
+    return replace(
+        get_profile(profile_name).spec,
+        profile_count=profile_count,
+        event_count=event_count,
+        seed=seed,
+    )
+
+
 def stock_ticker_spec(
     *, profile_count: int = 500, event_count: int = 2000, seed: int = 11
 ) -> WorkloadSpec:
-    """Return the stock-ticker scenario.
-
-    Events carry a symbol, a price level (discretised to integer ticks) and
-    a traded volume bucket.  Prices cluster around the current level (Gauss)
-    while subscriptions concentrate on a narrow band of interesting prices
-    ("users are mainly interested in a small range of values for certain
-    shares"), making the event and profile distributions strongly peaked.
-    """
-    schema = Schema(
-        [
-            Attribute(
-                "symbol",
-                DiscreteDomain([f"S{i:02d}" for i in range(40)]),
-                description="ticker symbol",
-            ),
-            Attribute("price", IntegerDomain(0, 199), unit="ticks"),
-            Attribute("volume", IntegerDomain(0, 49), unit="lots"),
-        ]
-    )
-    attributes = {
-        "symbol": AttributeSpec(
-            event_distribution="falling", profile_distribution="falling"
-        ),
-        "price": AttributeSpec(
-            event_distribution="gauss", profile_distribution="95% high"
-        ),
-        "volume": AttributeSpec(
-            event_distribution="falling",
-            profile_distribution="equal",
-            dont_care_probability=0.6,
-        ),
-    }
-    return WorkloadSpec(
-        name="stock-ticker",
-        schema=schema,
-        attributes=attributes,
+    """Deprecated: the ``"stock-ticker"`` corpus profile's spec."""
+    return _declarative_spec(
+        "stock_ticker_spec",
+        "stock-ticker",
         profile_count=profile_count,
         event_count=event_count,
         seed=seed,
@@ -74,39 +67,10 @@ def stock_ticker_spec(
 def environmental_monitoring_spec(
     *, profile_count: int = 300, event_count: int = 2000, seed: int = 13
 ) -> WorkloadSpec:
-    """Return the environmental-monitoring scenario (catastrophe warnings).
-
-    Sensor readings are roughly uniform over the physical domains; user
-    profiles concentrate on the extreme ("catastrophe") ranges, so most
-    events fall into the zero-subdomain and should be rejected early — the
-    situation Measures A1/A2 are designed for.
-    """
-    schema = Schema(
-        [
-            Attribute("temperature", IntegerDomain(-30, 50), unit="°C"),
-            Attribute("humidity", IntegerDomain(0, 100), unit="%"),
-            Attribute("radiation", IntegerDomain(1, 100), unit="mW/m²"),
-        ]
-    )
-    attributes = {
-        "temperature": AttributeSpec(
-            event_distribution="gauss", profile_distribution="95% high"
-        ),
-        "humidity": AttributeSpec(
-            event_distribution="equal",
-            profile_distribution="95% high",
-            dont_care_probability=0.3,
-        ),
-        "radiation": AttributeSpec(
-            event_distribution="relocated gauss low",
-            profile_distribution="95% high",
-            dont_care_probability=0.5,
-        ),
-    }
-    return WorkloadSpec(
-        name="environmental",
-        schema=schema,
-        attributes=attributes,
+    """Deprecated: the ``"environmental"`` corpus profile's spec."""
+    return _declarative_spec(
+        "environmental_monitoring_spec",
+        "environmental",
         profile_count=profile_count,
         event_count=event_count,
         seed=seed,
@@ -116,41 +80,10 @@ def environmental_monitoring_spec(
 def facility_management_spec(
     *, profile_count: int = 200, event_count: int = 1500, seed: int = 17
 ) -> WorkloadSpec:
-    """Return the facility-management scenario.
-
-    Buildings report room, sensor kind and reading; subscriptions mix broad
-    monitoring profiles (many don't-cares) with narrow alarm profiles.
-    """
-    schema = Schema(
-        [
-            Attribute("building", IntegerDomain(1, 8)),
-            Attribute("room", IntegerDomain(1, 60)),
-            Attribute("sensor", DiscreteDomain(["smoke", "door", "power", "water", "hvac"])),
-            Attribute("reading", IntegerDomain(0, 99)),
-        ]
-    )
-    attributes = {
-        "building": AttributeSpec(
-            event_distribution="equal", profile_distribution="equal",
-            dont_care_probability=0.2,
-        ),
-        "room": AttributeSpec(
-            event_distribution="equal", profile_distribution="equal",
-            dont_care_probability=0.6,
-        ),
-        "sensor": AttributeSpec(
-            event_distribution="falling", profile_distribution="falling",
-            dont_care_probability=0.3,
-        ),
-        "reading": AttributeSpec(
-            event_distribution="gauss", profile_distribution="95% high",
-            dont_care_probability=0.4,
-        ),
-    }
-    return WorkloadSpec(
-        name="facility",
-        schema=schema,
-        attributes=attributes,
+    """Deprecated: the ``"facility"`` corpus profile's spec."""
+    return _declarative_spec(
+        "facility_management_spec",
+        "facility",
         profile_count=profile_count,
         event_count=event_count,
         seed=seed,
@@ -160,41 +93,10 @@ def facility_management_spec(
 def wide_range_spec(
     *, profile_count: int = 1500, event_count: int = 1024, seed: int = 29
 ) -> WorkloadSpec:
-    """Return the wide-range scenario (hit-heavy threshold monitoring).
-
-    A fleet of regional monitors subscribes to *broad* metric bands —
-    every profile constrains a large range (half the metric domain on
-    average) plus its region, so a typical event satisfies hundreds of
-    range entries while only the ~1/32 of them in the matching region
-    deliver.  This is the counting-bound antipode of the stock ticker's
-    reject-heavy profile mix: per-event cost is dominated by bumping one
-    counter per satisfied posting, which is exactly the workload the
-    columnar batch kernel's vectorized counting targets
-    (:mod:`repro.matching.index.kernel`).
-    """
-    schema = Schema(
-        [
-            Attribute("metric", IntegerDomain(0, 9999), description="monitored reading"),
-            Attribute(
-                "region",
-                DiscreteDomain([f"r{i:02d}" for i in range(32)]),
-                description="reporting region",
-            ),
-        ]
-    )
-    attributes = {
-        "metric": AttributeSpec(
-            event_distribution="equal",
-            profile_distribution="equal",
-            predicate="range",
-            range_width_fraction=0.5,
-        ),
-        "region": AttributeSpec(event_distribution="equal", profile_distribution="equal"),
-    }
-    return WorkloadSpec(
-        name="wide-range",
-        schema=schema,
-        attributes=attributes,
+    """Deprecated: the ``"wide-range"`` corpus profile's spec."""
+    return _declarative_spec(
+        "wide_range_spec",
+        "wide-range",
         profile_count=profile_count,
         event_count=event_count,
         seed=seed,
@@ -204,55 +106,10 @@ def wide_range_spec(
 def mixed_workload_spec(
     *, profile_count: int = 220, event_count: int = 6000, seed: int = 37
 ) -> WorkloadSpec:
-    """Return the mixed-structure workload behind the hybrid-plan benchmark.
-
-    Three attribute characters, so no single per-attribute structure fits
-    the whole subscription set:
-
-    * ``symbol`` — *equality-sparse*: every profile pins one of 2000
-      symbols, so the hash side probes in one lookup while a profile tree
-      must walk its root edges sequentially and the scan side would touch
-      every entry.
-    * ``metric`` — *range-heavy mixed*: half the entries are selective
-      equalities (kept on the hash), half are ranges as wide as the whole
-      domain.  Under the peaked (Gauss) event stream almost every range
-      is satisfied, so the interval probe costs its ``log`` overhead on
-      top of touching nearly every entry — the hybrid planner demotes
-      only this structure to a plain scan, which the binary all-or-
-      nothing plan cannot express.
-    * ``band`` — narrow alert bands where the interval index shines;
-      the counting baseline instead pays one comparison per distinct
-      band on every event.
-    """
-    schema = Schema(
-        [
-            Attribute("symbol", IntegerDomain(0, 1999), description="entity id"),
-            Attribute("metric", IntegerDomain(0, 999), description="monitored reading"),
-            Attribute("band", IntegerDomain(0, 999), description="alert band probe"),
-        ]
-    )
-    attributes = {
-        "symbol": AttributeSpec(event_distribution="equal", profile_distribution="equal"),
-        "metric": AttributeSpec(
-            event_distribution="gauss",
-            profile_distribution="gauss",
-            predicate="mixed",
-            range_width_fraction=1.0,
-            mixed_equality_probability=0.5,
-            dont_care_probability=0.5,
-        ),
-        "band": AttributeSpec(
-            event_distribution="equal",
-            profile_distribution="equal",
-            predicate="range",
-            range_width_fraction=0.04,
-            dont_care_probability=0.5,
-        ),
-    }
-    return WorkloadSpec(
-        name="mixed-structure",
-        schema=schema,
-        attributes=attributes,
+    """Deprecated: the ``"mixed-structure"`` corpus profile's spec."""
+    return _declarative_spec(
+        "mixed_workload_spec",
+        "mixed-structure",
         profile_count=profile_count,
         event_count=event_count,
         seed=seed,
@@ -269,22 +126,24 @@ def single_attribute_spec(
     seed: int = 5,
     name: str = "single-attribute",
 ) -> WorkloadSpec:
-    """Return the single-attribute workload used by scenarios TV3/TV4.
+    """Deprecated: the ``"single-attribute"`` corpus profile's spec.
 
-    One integer attribute with equality profiles whose values are drawn from
-    the ``profiles`` distribution; events are drawn from the ``events``
-    distribution.  This mirrors the paper's "full profile tree with one
-    attribute only" tests that isolate the effect of value reordering.
+    The extra knobs (distribution names, domain size, spec name) predate
+    the declarative corpus; the figure harness still sweeps them, so the
+    shim rebuilds the one-attribute schema when they deviate from the
+    committed profile.
     """
-    schema = Schema([Attribute("value", IntegerDomain(0, domain_size - 1))])
-    attributes = {
-        "value": AttributeSpec(event_distribution=events, profile_distribution=profiles)
-    }
-    return WorkloadSpec(
-        name=name,
-        schema=schema,
-        attributes=attributes,
+    base = _declarative_spec(
+        "single_attribute_spec",
+        "single-attribute",
         profile_count=profile_count,
         event_count=event_count,
         seed=seed,
     )
+    schema = base.schema
+    if domain_size != 100:
+        schema = Schema([Attribute("value", IntegerDomain(0, domain_size - 1))])
+    attributes = {
+        "value": AttributeSpec(event_distribution=events, profile_distribution=profiles)
+    }
+    return replace(base, name=name, schema=schema, attributes=attributes)

@@ -14,9 +14,9 @@ from dataclasses import dataclass, replace
 from typing import Mapping
 
 from repro.core.errors import WorkloadError
-from repro.core.schema import Schema
+from repro.core.schema import Attribute, Schema
 
-__all__ = ["AttributeSpec", "WorkloadSpec"]
+__all__ = ["AttributeSpec", "MixGroup", "WorkloadSpec"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,31 @@ class AttributeSpec:
 
 
 @dataclass(frozen=True)
+class MixGroup:
+    """One population segment of a heterogeneous profile mix.
+
+    A workload whose subscribers split into qualitatively different
+    populations — e.g. a social feed where most profiles are broad
+    follow-everything firehoses while a few are razor-sharp keyword
+    alerts — declares one :class:`MixGroup` per population.  Each group
+    carries a sampling ``weight`` (relative, need not sum to 1) and
+    per-attribute :class:`AttributeSpec` *overrides*; attributes a group
+    does not override fall back to the workload's base specs.
+    """
+
+    name: str
+    weight: float = 1.0
+    attributes: Mapping[str, AttributeSpec] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("mix group name must be non-empty")
+        if not self.weight > 0.0:
+            raise WorkloadError(f"mix group {self.name!r}: weight must be positive")
+        object.__setattr__(self, "attributes", dict(self.attributes or {}))
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """A complete, reproducible workload description."""
 
@@ -77,6 +102,7 @@ class WorkloadSpec:
     profile_count: int = 100
     event_count: int = 1000
     seed: int = 7
+    mix: tuple = ()
 
     def __post_init__(self) -> None:
         if self.profile_count <= 0:
@@ -87,11 +113,31 @@ class WorkloadSpec:
         if unknown:
             raise WorkloadError(f"attribute specs reference unknown attributes {unknown}")
         object.__setattr__(self, "attributes", dict(self.attributes))
+        object.__setattr__(self, "mix", tuple(self.mix))
+        seen_groups: set[str] = set()
+        for group in self.mix:
+            if not isinstance(group, MixGroup):
+                raise WorkloadError("mix entries must be MixGroup instances")
+            if group.name in seen_groups:
+                raise WorkloadError(f"duplicate mix group {group.name!r}")
+            seen_groups.add(group.name)
+            unknown = [name for name in group.attributes if name not in self.schema]
+            if unknown:
+                raise WorkloadError(
+                    f"mix group {group.name!r} references unknown attributes {unknown}"
+                )
 
-    def spec_for(self, attribute: str) -> AttributeSpec:
-        """Return the spec of one attribute (defaults when unspecified)."""
+    def spec_for(self, attribute: str, group: MixGroup | None = None) -> AttributeSpec:
+        """Return the spec of one attribute (defaults when unspecified).
+
+        With a ``group``, that mix group's override wins over the base
+        attribute spec — the lookup profile generation uses when a
+        heterogeneous mix is declared.
+        """
         if attribute not in self.schema:
             raise WorkloadError(f"unknown attribute {attribute!r}")
+        if group is not None and attribute in group.attributes:
+            return group.attributes[attribute]
         return self.attributes.get(attribute, AttributeSpec())
 
     def with_distributions(
@@ -131,3 +177,22 @@ class WorkloadSpec:
     def with_seed(self, seed: int) -> "WorkloadSpec":
         """Return a copy using a different random seed."""
         return replace(self, seed=seed)
+
+    def with_name(self, name: str) -> "WorkloadSpec":
+        """Return a copy under a different name (derived sweep variants)."""
+        return replace(self, name=name)
+
+    def with_domain(self, attribute: str, domain) -> "WorkloadSpec":
+        """Return a copy whose schema uses ``domain`` for ``attribute``.
+
+        The figure harness sweeps domain sizes on the single-attribute
+        scenario; everything else about the spec (distribution names,
+        generation knobs, counts, seed) is preserved.
+        """
+        if attribute not in self.schema:
+            raise WorkloadError(f"unknown attribute {attribute!r}")
+        rebuilt = Schema(
+            Attribute(item.name, domain) if item.name == attribute else item
+            for item in self.schema
+        )
+        return replace(self, schema=rebuilt)

@@ -76,6 +76,49 @@ class TestObserve:
         assert errors[-1] < 0.02
 
 
+class TestBoundedWindow:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostCalibrator(window=0)
+        with pytest.raises(ValueError):
+            CostCalibrator(window=-3)
+        CostCalibrator(window=1)
+
+    def test_windowed_tracks_unbounded_while_the_window_is_not_full(self):
+        bounded = CostCalibrator(smoothing=0.5, window=8)
+        unbounded = CostCalibrator(smoothing=0.5)
+        for _ in range(8):
+            bounded.observe("index", predicted=10.0, measured=30.0)
+            unbounded.observe("index", predicted=10.0, measured=30.0)
+            assert bounded.factor("index") == pytest.approx(unbounded.factor("index"))
+
+    def test_old_regime_ages_out_completely(self):
+        """After ``window`` fresh observations the factor is exactly what a
+        calibrator that never saw the old regime would hold."""
+        drifted = CostCalibrator(smoothing=0.5, window=4)
+        fresh = CostCalibrator(smoothing=0.5, window=4)
+        for _ in range(20):
+            drifted.observe("index", predicted=10.0, measured=50.0)  # regime A
+        for _ in range(4):
+            drifted.observe("index", predicted=10.0, measured=10.0)  # regime B
+            fresh.observe("index", predicted=10.0, measured=10.0)
+        assert drifted.factor("index") == fresh.factor("index")
+
+    def test_window_reconverges_faster_under_slow_smoothing(self):
+        """With a small alpha the unbounded EWMA drags the dead regime as a
+        long geometric tail; the window truncates it outright."""
+        bounded = CostCalibrator(smoothing=0.1, window=10)
+        unbounded = CostCalibrator(smoothing=0.1)
+        for calibrator in (bounded, unbounded):
+            for _ in range(50):
+                calibrator.observe("index", predicted=10.0, measured=50.0)
+            for _ in range(10):
+                calibrator.observe("index", predicted=10.0, measured=10.0)
+        true_ratio = 1.0
+        assert abs(bounded.factor("index") - true_ratio) < 1e-9
+        assert abs(unbounded.factor("index") - true_ratio) > 1.0
+
+
 class TestSnapshot:
     def test_snapshot_is_detached_and_serialisable(self):
         calibrator = CostCalibrator(smoothing=0.5)

@@ -107,6 +107,7 @@ API_SURFACE = {
         "engine",
         "switch_cooldown_intervals",
         "calibration_smoothing",
+        "calibration_window",
         "min_columnar_batch",
         "shard_count",
         "registry",
@@ -141,7 +142,7 @@ API_SURFACE = {
     ),
     "CalibrationSample": ("family", "predicted", "calibrated", "measured"),
     "CalibrationSnapshot": ("factors", "observations", "recent"),
-    "CostCalibrator": ("smoothing",),
+    "CostCalibrator": ("smoothing", "window"),
     "EngineCapabilities": ("incremental_maintenance", "batch_kernel"),
     "EngineRegistry": ("specs",),
     "EngineSpec": (
@@ -279,6 +280,7 @@ API_SURFACE = {
 API_METHODS = {
     # The verbs of the facade classes are part of the lock too.
     "FilterService": {
+        "from_profile": ("name_or_path", "engine", "overrides"),
         "subscribe": ("profile", "subscriber", "profile_id", "sink", "delivery"),
         "subscribe_all": ("profiles", "subscriber"),
         "publish": ("event",),
@@ -367,6 +369,67 @@ def test_api_methods_are_locked(class_name):
         assert _parameter_names(method) == expected, (
             f"signature of repro.api.{class_name}.{method_name} changed"
         )
+
+
+# -- repro.workloads.profiles surface lock ------------------------------------
+#
+# The declarative scenario-corpus API is the replacement for the legacy
+# ``*_spec()`` callables, so its loader/registry names are pinned the same
+# way the facade is.
+
+WORKLOADS_PROFILES_SURFACE = {
+    "load_profile": ("name_or_path",),
+    "get_profile": ("name",),
+    "list_profiles": (),
+    "dump_profile": ("profile", "path"),
+    "ScenarioProfile": (
+        "name",
+        "spec",
+        "run",
+        "engine",
+        "description",
+        "extends",
+        "source",
+    ),
+    "RunShape": ("batch_size", "delivery", "churn_rate"),
+    "EngineHints": (
+        "engine",
+        "families",
+        "shard_count",
+        "reoptimize_interval",
+        "warmup_events",
+        "improvement_threshold",
+        "min_columnar_batch",
+    ),
+    "WorkloadSpecError": ("key", "message"),
+}
+
+#: Legacy scenario callables kept as deprecation shims — still importable.
+LEGACY_SPEC_SHIMS = (
+    "stock_ticker_spec",
+    "environmental_monitoring_spec",
+    "facility_management_spec",
+    "single_attribute_spec",
+    "wide_range_spec",
+    "mixed_workload_spec",
+)
+
+
+def test_workloads_profiles_surface_is_locked():
+    from repro.workloads import profiles
+
+    for name, expected in WORKLOADS_PROFILES_SURFACE.items():
+        obj = getattr(profiles, name)
+        assert _parameter_names(obj) == expected, (
+            f"signature of repro.workloads.profiles.{name} changed"
+        )
+
+
+def test_legacy_spec_shims_stay_importable():
+    import repro.workloads as workloads
+
+    for name in LEGACY_SPEC_SHIMS:
+        assert callable(getattr(workloads, name)), f"{name} shim disappeared"
 
 
 def test_filter_service_is_a_context_manager():
